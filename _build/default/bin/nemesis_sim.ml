@@ -1,0 +1,174 @@
+(* nemesis-sim: regenerate the paper's tables and figures.
+
+   Subcommands mirror the experiment index in DESIGN.md:
+     table1   micro-benchmarks
+     fig7     paging in
+     fig8     paging out
+     fig9     file-system isolation
+     crosstalk external pager vs self-paging (Figure 2, quantified)
+     ablate   design-choice ablations
+     all      everything *)
+
+open Cmdliner
+open Experiments
+
+let duration_arg default =
+  let doc = "Simulated duration in seconds." in
+  Arg.(value & opt int default & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let sec s = Engine.Time.sec s
+
+let csv_arg =
+  let doc = "Also write the bandwidth series as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let write_csv path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "series,seconds,mbit_per_s\n";
+      List.iter
+        (fun (series, t, v) ->
+          Printf.fprintf oc "%s,%.3f,%.6f\n" series t v)
+        rows);
+  Printf.printf "wrote %s\n" path
+
+let paging_csv (r : Paging_fig.result) =
+  List.concat_map
+    (fun (a : Paging_fig.app_report) ->
+      List.map
+        (fun (t, v) -> (a.Paging_fig.app_name, Engine.Time.to_sec t, v))
+        a.Paging_fig.series)
+    r.Paging_fig.apps
+
+let table1_cmd =
+  let run () = Table1.print (Table1.run ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Comparative micro-benchmarks (Table 1)")
+    Term.(const run $ const ())
+
+let fig7_cmd =
+  let run d csv =
+    let r = Paging_fig.run ~duration:(sec d) () in
+    Paging_fig.print r;
+    Paging_fig.print_series r;
+    Paging_fig.print_trace r;
+    Option.iter (fun path -> write_csv path (paging_csv r)) csv
+  in
+  Cmd.v (Cmd.info "fig7" ~doc:"Paging in under disk guarantees (Figure 7)")
+    Term.(const run $ duration_arg 240 $ csv_arg)
+
+let fig8_cmd =
+  let run d csv =
+    let r =
+      Paging_fig.run ~mode:Workload.Paging_app.Paging_out ~duration:(sec d) ()
+    in
+    Paging_fig.print r;
+    Paging_fig.print_series r;
+    Paging_fig.print_trace r;
+    Option.iter (fun path -> write_csv path (paging_csv r)) csv
+  in
+  Cmd.v (Cmd.info "fig8" ~doc:"Paging out under disk guarantees (Figure 8)")
+    Term.(const run $ duration_arg 240 $ csv_arg)
+
+let fig9_cmd =
+  let run d csv =
+    let r = Fig9.run ~duration:(sec d) () in
+    Fig9.print r;
+    Fig9.print_series r;
+    Option.iter
+      (fun path ->
+        let rows =
+          List.map
+            (fun (t, v) -> ("fs_alone", Engine.Time.to_sec t, v))
+            r.Fig9.alone_series
+          @ List.map
+              (fun (t, v) -> ("fs_contended", Engine.Time.to_sec t, v))
+              r.Fig9.contended_series
+        in
+        write_csv path rows)
+      csv
+  in
+  Cmd.v (Cmd.info "fig9" ~doc:"File-system isolation (Figure 9)")
+    Term.(const run $ duration_arg 120 $ csv_arg)
+
+let crosstalk_cmd =
+  let run d = Crosstalk.print (Crosstalk.run ~duration:(sec d) ()) in
+  Cmd.v
+    (Cmd.info "crosstalk"
+       ~doc:"External pager vs self-paging (Figure 2, quantified)")
+    Term.(const run $ duration_arg 180)
+
+let ablation_names = [ "laxity"; "rollover"; "pt"; "slack"; "stream"; "revoke" ]
+
+let run_ablation d = function
+  | "laxity" ->
+    Ablations.print_laxity (Ablations.run_laxity ~duration:(sec d) ());
+    Ablations.print_laxity_sweep
+      (Ablations.run_laxity_sweep ~duration:(sec (min d 120)) ())
+  | "rollover" ->
+    Ablations.print_rollover (Ablations.run_rollover ~duration:(sec d) ())
+  | "pt" -> Ablations.print_pt (Ablations.run_pt ())
+  | "slack" -> Ablations.print_slack (Ablations.run_slack ~duration:(sec d) ())
+  | "stream" ->
+    Ablations.print_stream (Ablations.run_stream ~duration:(sec (max d 170)) ())
+  | "revoke" -> Ablations.print_revoke (Ablations.run_revoke ())
+  | other -> Printf.eprintf "unknown ablation %S\n" other
+
+let ablate_cmd =
+  let which =
+    let doc =
+      "Which ablations to run (laxity|rollover|pt|slack|revoke); default all."
+    in
+    Arg.(value & pos_all string ablation_names & info [] ~docv:"NAME" ~doc)
+  in
+  let run d names = List.iter (run_ablation d) names in
+  Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations (DESIGN.md)")
+    Term.(const run $ duration_arg 120 $ which)
+
+let netiso_cmd =
+  let run d =
+    Net_iso.print_shares (Net_iso.run_shares ~duration:(sec (min d 30)) ());
+    Net_iso.print_kernel_crosstalk
+      (Net_iso.run_kernel_crosstalk ~duration:(sec d) ())
+  in
+  Cmd.v
+    (Cmd.info "netiso"
+       ~doc:"Network-link guarantees and cross-resource crosstalk")
+    Term.(const run $ duration_arg 60)
+
+let all_cmd =
+  let run d =
+    Table1.print (Table1.run ());
+    let r7 = Paging_fig.run ~duration:(sec d) () in
+    Paging_fig.print r7;
+    Paging_fig.print_series r7;
+    Paging_fig.print_trace r7;
+    let r8 =
+      Paging_fig.run ~mode:Workload.Paging_app.Paging_out ~duration:(sec d) ()
+    in
+    Paging_fig.print r8;
+    Paging_fig.print_series r8;
+    Paging_fig.print_trace r8;
+    Fig9.print (Fig9.run ~duration:(sec (min d 120)) ());
+    Crosstalk.print (Crosstalk.run ~duration:(sec (min d 180)) ());
+    Net_iso.print_shares (Net_iso.run_shares ());
+    Net_iso.print_kernel_crosstalk
+      (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
+    List.iter (run_ablation (min d 120)) ablation_names
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
+    Term.(const run $ duration_arg 240)
+
+let main =
+  let info =
+    Cmd.info "nemesis-sim" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of `Self-Paging in the Nemesis Operating System' \
+         (OSDI 1999)"
+  in
+  Cmd.group info
+    [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
+      ablate_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

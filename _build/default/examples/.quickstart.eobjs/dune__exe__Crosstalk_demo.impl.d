@@ -1,0 +1,1 @@
+examples/crosstalk_demo.ml: Addr Baseline Core Domains Engine Format Hw Proc Sim Stats Stretch System Time Usbs

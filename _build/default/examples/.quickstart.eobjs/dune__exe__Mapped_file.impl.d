@@ -1,0 +1,1 @@
+examples/mapped_file.ml: Addr Core Domains Engine Format Hw Sd_mapped Stretch System Time Usbs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Disk Domains Engine Format Mm_entry Sd_paged Sim Stretch System Time Usbs

@@ -1,0 +1,1 @@
+examples/revocation_demo.ml: Addr Core Domains Engine Format Frames Hw Sim Stretch System Time Usbs

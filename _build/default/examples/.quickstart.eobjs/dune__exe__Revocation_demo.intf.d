@@ -1,0 +1,1 @@
+examples/revocation_demo.mli:

@@ -1,0 +1,1 @@
+examples/video_vs_compile.ml: Core Domains Engine Format Proc Sim Stretch System Time Usbs

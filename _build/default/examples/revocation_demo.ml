@@ -1,0 +1,101 @@
+(* A walkthrough of the frames allocator's contracts and revocation
+   protocol (Figure 4 of the paper).
+
+   greedy  holds 2 guaranteed frames plus a large optimistic quota and
+           fills memory with mapped, dirty pages;
+   steady  arrives later and asks for its guaranteed frames, which
+           forces the allocator to revoke optimistic frames from
+           greedy — intrusively, since they are mapped and dirty (the
+           paged stretch driver must clean them to the USBS first).
+
+   Run with: dune exec examples/revocation_demo.exe *)
+
+open Engine
+open Hw
+open Core
+
+let page = Addr.page_size
+
+let () =
+  (* A small machine (2 MB = 256 frames) so contention is immediate.
+     T is generous: cleaning a batch of dirty pages must fit within the
+     victim's own disk guarantee. *)
+  let config =
+    { System.default_config with
+      main_memory_mb = 2;
+      revocation_deadline = Time.ms 250 }
+  in
+  let sys = System.create ~config () in
+  let frames = System.frames sys in
+
+  let greedy =
+    match
+      System.add_domain sys ~name:"greedy" ~guarantee:2 ~optimistic:220 ()
+    with
+    | Ok d -> d
+    | Error e -> failwith e
+  in
+  let steady =
+    match
+      System.add_domain sys ~name:"steady" ~guarantee:100 ~optimistic:0 ()
+    with
+    | Ok d -> d
+    | Error e -> failwith e
+  in
+  Format.printf "total frames: %d, guaranteed: %d (admission: ok)@."
+    (Frames.total_frames frames) (Frames.guaranteed_total frames);
+
+  (* greedy: map 200 pages of a paged stretch, dirtying all of them. *)
+  let gs =
+    match System.alloc_stretch greedy ~bytes:(200 * page) () with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  ignore
+    (Domains.spawn_thread greedy.System.dom ~name:"hog" (fun () ->
+         let qos =
+           Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 100) ()
+         in
+         (match
+            System.bind_paged greedy ~swap_bytes:(400 * page) ~qos gs ()
+          with
+         | Ok _ -> ()
+         | Error e -> failwith e);
+         for i = 0 to Stretch.npages gs - 1 do
+           Domains.access greedy.System.dom (Stretch.page_base gs i) `Write
+         done;
+         Format.printf
+           "t=%a greedy holds %d frames (%d guaranteed + optimistic), free=%d@."
+           Time.pp (Sim.now (System.sim sys))
+           (Frames.held greedy.System.frames_client)
+           (Frames.guarantee greedy.System.frames_client)
+           (Frames.free_frames frames);
+
+         (* steady wakes up and claims its guarantee. *)
+         ignore
+           (Domains.spawn_thread steady.System.dom ~name:"claim" (fun () ->
+                let sim = System.sim sys in
+                let t0 = Sim.now sim in
+                let got = ref 0 in
+                for _ = 1 to 100 do
+                  match Frames.alloc frames steady.System.frames_client with
+                  | Some _ -> incr got
+                  | None -> ()
+                done;
+                Format.printf
+                  "t=%a steady obtained %d/100 guaranteed frames in %a@."
+                  Time.pp (Sim.now sim) !got Time.pp
+                  (Time.diff (Sim.now sim) t0);
+                Format.printf
+                  "     transparent revocations: %d, intrusive: %d@."
+                  (Frames.transparent_revocations frames)
+                  (Frames.revocations frames);
+                Format.printf
+                  "     greedy now holds %d frames and is %s@."
+                  (Frames.held greedy.System.frames_client)
+                  (if Domains.alive greedy.System.dom then
+                     "alive (it cooperated within T)"
+                   else "dead")))));
+
+  System.run sys ~until:(Time.sec 120);
+  Format.printf "done at t=%a@." Time.pp (Sim.now (System.sim sys))

@@ -1,0 +1,1 @@
+lib/baseline/external_pager.ml: Core Cost Domains Engine Fault Hw Mm_entry Pdom Printf Rights Sd_paged Stretch Stretch_driver Sync System Time Usbs

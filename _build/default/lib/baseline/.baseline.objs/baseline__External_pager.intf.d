@@ -1,0 +1,1 @@
+lib/baseline/external_pager.mli: Core Engine Stretch Stretch_driver System Time Usbs

@@ -1,0 +1,1 @@
+lib/baseline/unix_vm.ml: Engine Time

@@ -1,0 +1,45 @@
+open Engine
+
+type params = {
+  syscall : Time.span;
+  vm_map_lookup : Time.span;
+  pmap_change : Time.span;
+  pmap_check : Time.span;
+  fault_kernel : Time.span;
+  signal_deliver : Time.span;
+  signal_return : Time.span;
+  random_touch_penalty : Time.span;
+}
+
+let osf1 =
+  { syscall = Time.ns 1_900;
+    vm_map_lookup = Time.ns 750;
+    pmap_change = Time.ns 710;
+    pmap_check = Time.ns 25;
+    fault_kernel = Time.ns 4_000;
+    signal_deliver = Time.ns 3_500;
+    signal_return = Time.ns 2_800;
+    random_touch_penalty = Time.ns 5_000 }
+
+let dirty _p = None
+
+let protect_pages p ~n ~alternating =
+  if n <= 0 then invalid_arg "Unix_vm.protect_pages: n <= 0";
+  let per_page = if alternating then p.pmap_change else p.pmap_check in
+  p.syscall + p.vm_map_lookup + (n * per_page)
+
+let trap p = p.fault_kernel + p.signal_deliver + p.signal_return
+
+let appel1 p =
+  (* Access a protected page; unprotect it and protect another inside
+     the handler: a trap plus two real single-page mprotects. *)
+  trap p + (2 * protect_pages p ~n:1 ~alternating:true)
+
+let appel2_per_fault p =
+  (* Protect 100 pages, touch each in random order, unprotect in the
+     handler: per fault, one trap, one single-page unprotect, 1/100th
+     of the initial 100-page protect, plus the random-order penalty. *)
+  trap p
+  + protect_pages p ~n:1 ~alternating:true
+  + (protect_pages p ~n:100 ~alternating:true / 100)
+  + p.random_touch_penalty

@@ -1,0 +1,48 @@
+(** Monolithic-kernel VM cost model (the paper's OSF1 V4.0 comparison).
+
+    Table 1 compares Nemesis against Digital OSF1 V4.0 on the same
+    hardware. We cannot run OSF1, so this module models the structure
+    of its VM operations — syscall entry/exit, vm_map lookup, per-page
+    pmap updates with TLB shootdown, and signal-based user fault
+    delivery — with component latencies calibrated so that the
+    composite operations land near the figures the paper measured on
+    the real system. The {e shape} (per-page costs, signal overhead
+    dominating the trap path) is structural; only the scale constants
+    come from the paper.
+
+    All results are in simulated nanoseconds. *)
+
+open Engine
+
+type params = {
+  syscall : Time.span;        (** kernel entry/exit for a VM syscall *)
+  vm_map_lookup : Time.span;  (** find the map entry for a range *)
+  pmap_change : Time.span;    (** change one page's pmap entry + TLB shootdown *)
+  pmap_check : Time.span;     (** per-page no-op check when nothing changes *)
+  fault_kernel : Time.span;   (** kernel vm_fault processing *)
+  signal_deliver : Time.span; (** build and deliver a signal frame *)
+  signal_return : Time.span;  (** sigreturn back to the faulting context *)
+  random_touch_penalty : Time.span;
+      (** cache-unfriendly extra cost per randomly-ordered fault
+          (visible in the paper's appel2 row) *)
+}
+
+val osf1 : params
+
+val dirty : params -> Time.span option
+(** OSF1 exposes no user-level dirty query: [None] (the paper's
+    "n/a"). *)
+
+val protect_pages : params -> n:int -> alternating:bool -> Time.span
+(** mprotect over [n] pages. [alternating] forces a real permission
+    flip on every page (the paper's "Nemesis semantics", ≈75 µs for
+    100 pages); otherwise the kernel's lazy path only checks. *)
+
+val trap : params -> Time.span
+(** User-level fault handler round trip via a signal. *)
+
+val appel1 : params -> Time.span
+(** prot1 + trap + unprot. *)
+
+val appel2_per_fault : params -> Time.span
+(** protN + trap + unprot, amortised per fault over N = 100. *)

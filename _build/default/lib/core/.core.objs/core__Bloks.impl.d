@@ -1,0 +1,1 @@
+lib/core/bloks.ml: Int64

@@ -1,0 +1,1 @@
+lib/core/domains.ml: Addr Cost Cpu Engine Event_chan Fault Fun Hw List Mmu Pdom Printf Proc Pte Queue Sched Sim Sync

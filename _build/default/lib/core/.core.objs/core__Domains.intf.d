@@ -1,0 +1,1 @@
+lib/core/domains.mli: Addr Cost Cpu Engine Event_chan Fault Hw Mmu Pdom Proc Sched Sim Time

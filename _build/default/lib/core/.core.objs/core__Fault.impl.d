@@ -1,0 +1,1 @@
+lib/core/fault.ml: Addr Engine Format Hw Mmu Sync Time

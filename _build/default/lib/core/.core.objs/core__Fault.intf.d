@@ -1,0 +1,1 @@
+lib/core/fault.mli: Addr Engine Format Hw Mmu Sync Time

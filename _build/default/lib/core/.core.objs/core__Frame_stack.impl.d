@@ -1,0 +1,1 @@
+lib/core/frame_stack.ml: List

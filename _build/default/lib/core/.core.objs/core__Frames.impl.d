@@ -1,0 +1,1 @@
+lib/core/frames.ml: Addr Array Engine Frame_stack Hw List Printf Ramtab Sim Sync Time

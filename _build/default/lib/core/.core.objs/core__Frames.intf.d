@@ -1,0 +1,1 @@
+lib/core/frames.mli: Engine Frame_stack Hw Ramtab Sim Time

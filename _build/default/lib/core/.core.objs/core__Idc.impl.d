@@ -1,0 +1,1 @@
+lib/core/idc.ml: Domains Engine Entry Hw Printf Sync

@@ -1,0 +1,1 @@
+lib/core/idc.mli: Domains

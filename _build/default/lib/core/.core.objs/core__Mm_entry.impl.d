@@ -1,0 +1,1 @@
+lib/core/mm_entry.ml: Domains Engine Entry Fault Format Frames Hashtbl Hw List Option Stretch Stretch_driver Sync

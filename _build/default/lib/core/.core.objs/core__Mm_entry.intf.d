@@ -1,0 +1,1 @@
+lib/core/mm_entry.mli: Domains Format Frames Stretch Stretch_driver

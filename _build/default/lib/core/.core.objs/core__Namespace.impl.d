@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/pdom.ml: Hashtbl Hw Rights

@@ -1,0 +1,1 @@
+lib/core/pdom.mli: Hw Rights

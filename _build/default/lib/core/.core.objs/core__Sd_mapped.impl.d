@@ -1,0 +1,1 @@
+lib/core/sd_mapped.ml: Array Bloks Cost Fault Frame_stack Frames Hw List Mmu Option Printf Pte Queue Stretch Stretch_driver Usbs

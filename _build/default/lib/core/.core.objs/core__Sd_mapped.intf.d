@@ -1,0 +1,1 @@
+lib/core/sd_mapped.mli: Stretch_driver Usbs

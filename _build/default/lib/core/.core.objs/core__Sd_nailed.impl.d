@@ -1,0 +1,1 @@
+lib/core/sd_nailed.ml: Cost Fault Format Frame_stack Frames Hw Printf Ramtab Stretch Stretch_driver Translation

@@ -1,0 +1,1 @@
+lib/core/sd_nailed.mli: Stretch_driver

@@ -1,0 +1,1 @@
+lib/core/sd_paged.ml: Array Bloks Cost Fault Frame_stack Frames Hw List Mmu Printf Pte Queue Stretch Stretch_driver Usbs

@@ -1,0 +1,1 @@
+lib/core/sd_paged.mli: Stretch_driver Usbs

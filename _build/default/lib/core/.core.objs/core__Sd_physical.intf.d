@@ -1,0 +1,1 @@
+lib/core/sd_physical.mli: Stretch_driver

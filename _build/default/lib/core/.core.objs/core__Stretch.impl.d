@@ -1,0 +1,1 @@
+lib/core/stretch.ml: Addr Cost Format Hw Pdom Rights Translation

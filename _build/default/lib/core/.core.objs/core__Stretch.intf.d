@@ -1,0 +1,1 @@
+lib/core/stretch.mli: Addr Engine Format Hw Pdom Rights Time Translation

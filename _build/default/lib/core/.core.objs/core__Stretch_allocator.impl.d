@@ -1,0 +1,1 @@
+lib/core/stretch_allocator.ml: Addr Hashtbl Hw List Pdom Rights Stretch Translation

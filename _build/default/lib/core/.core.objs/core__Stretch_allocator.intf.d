@@ -1,0 +1,1 @@
+lib/core/stretch_allocator.mli: Addr Hw Pdom Rights Stretch Translation

@@ -1,0 +1,1 @@
+lib/core/stretch_driver.ml: Addr Cost Engine Fault Format Frames Hw Pdom Stretch Time Translation

@@ -1,0 +1,1 @@
+lib/core/stretch_driver.mli: Addr Cost Engine Fault Format Frames Hw Pdom Pte Stretch Time Translation

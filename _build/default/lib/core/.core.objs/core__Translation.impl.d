@@ -1,0 +1,1 @@
+lib/core/translation.ml: Addr Cost Format Hw Mmu Pdom Pte Ramtab Rights

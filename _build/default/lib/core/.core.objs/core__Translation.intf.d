@@ -1,0 +1,1 @@
+lib/core/translation.mli: Addr Engine Format Hw Mmu Pdom Pte Ramtab Rights Time

@@ -1,0 +1,1 @@
+lib/core/ults.ml: Domains Engine Fun Hw List Proc

@@ -1,0 +1,26 @@
+type t = {
+  ev_name : string;
+  mutable count : int;
+  mutable acked : int;
+  mutable notify : (unit -> unit) option;
+}
+
+let create ?(name = "chan") () =
+  { ev_name = name; count = 0; acked = 0; notify = None }
+
+let name t = t.ev_name
+
+let send t =
+  t.count <- t.count + 1;
+  match t.notify with Some f -> f () | None -> ()
+
+let count t = t.count
+let acked t = t.acked
+let pending t = t.count - t.acked
+
+let ack t =
+  let n = pending t in
+  t.acked <- t.count;
+  n
+
+let attach t f = t.notify <- Some f

@@ -1,0 +1,37 @@
+(* Represented top-first as a mutable list. *)
+type t = { mutable frames : int list }
+
+let create () = { frames = [] }
+
+let size t = List.length t.frames
+
+let mem t pfn = List.mem pfn t.frames
+
+let push t pfn =
+  if mem t pfn then invalid_arg "Frame_stack.push: frame already present";
+  t.frames <- pfn :: t.frames
+
+let remove t pfn =
+  if mem t pfn then begin
+    t.frames <- List.filter (fun p -> p <> pfn) t.frames;
+    true
+  end
+  else false
+
+let top_k t k =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k t.frames
+
+let move_to_top t pfn =
+  if not (mem t pfn) then raise Not_found;
+  t.frames <- pfn :: List.filter (fun p -> p <> pfn) t.frames
+
+let move_to_bottom t pfn =
+  if not (mem t pfn) then raise Not_found;
+  t.frames <- List.filter (fun p -> p <> pfn) t.frames @ [ pfn ]
+
+let to_list t = t.frames

@@ -1,0 +1,370 @@
+open Engine
+open Hw
+
+type revocation = {
+  rev_k : int;
+  ready : unit Sync.Ivar.t;
+}
+
+type client = {
+  domain : int;
+  mutable g : int;
+  mutable o : int;
+  mutable n : int;
+  stack : Frame_stack.t;
+  mutable notify_revoke : (k:int -> deadline:Time.t -> unit) option;
+  mutable pending_rev : revocation option;
+  mutable live : bool;
+}
+
+type region = { rname : string; first : int; count : int }
+
+type t = {
+  sim : Sim.t;
+  ramtab : Ramtab.t;
+  nframes : int;
+  (* Free pool as a scannable bitmap so that requests for specific
+     frames, coloured frames or frames inside a special region can be
+     honoured (the default policy scans round-robin from a cursor). *)
+  avail : bool array;
+  mutable free_count : int;
+  mutable cursor : int;
+  mutable regions : region list;
+  mutable members : client list;
+  mutable kill : int -> unit;
+  deadline_span : Time.span;
+  (* One revocation round at a time. *)
+  rev_lock : Sync.Semaphore.t;
+  mutable intrusive_count : int;
+  mutable transparent_count : int;
+}
+
+let create ?(revocation_deadline = Time.ms 100) sim ramtab ~nframes =
+  if nframes <= 0 || nframes > Ramtab.nframes ramtab then
+    invalid_arg "Frames.create: bad frame count";
+  { sim; ramtab; nframes; avail = Array.make nframes true;
+    free_count = nframes; cursor = 0; regions = []; members = [];
+    kill = (fun _ -> ()); deadline_span = revocation_deadline;
+    rev_lock = Sync.Semaphore.create 1; intrusive_count = 0;
+    transparent_count = 0 }
+
+let add_region t ~name ~first ~count =
+  if first < 0 || count <= 0 || first + count > t.nframes then
+    invalid_arg "Frames.add_region: out of range";
+  if List.exists (fun r -> r.rname = name) t.regions then
+    invalid_arg "Frames.add_region: duplicate name";
+  t.regions <- { rname = name; first; count } :: t.regions
+
+(* Free-pool primitives. *)
+
+let pool_put t pfn =
+  assert (not t.avail.(pfn));
+  t.avail.(pfn) <- true;
+  t.free_count <- t.free_count + 1
+
+let pool_take t pfn =
+  assert (t.avail.(pfn));
+  t.avail.(pfn) <- false;
+  t.free_count <- t.free_count - 1
+
+(* Default policy: round-robin scan from the cursor. *)
+let pool_take_any t =
+  if t.free_count = 0 then None
+  else begin
+    let n = t.nframes in
+    let rec scan i steps =
+      if steps >= n then None
+      else if t.avail.(i) then begin
+        t.cursor <- (i + 1) mod n;
+        pool_take t i;
+        Some i
+      end
+      else scan ((i + 1) mod n) (steps + 1)
+    in
+    scan t.cursor 0
+  end
+
+let pool_take_matching t pred =
+  let rec scan i =
+    if i >= t.nframes then None
+    else if t.avail.(i) && pred i then begin
+      pool_take t i;
+      Some i
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let guaranteed_total t =
+  List.fold_left (fun acc c -> acc + c.g) 0 t.members
+
+let admit t ~domain ~guarantee ~optimistic =
+  if guarantee < 0 || optimistic < 0 then Error "negative quota"
+  else if guaranteed_total t + guarantee > t.nframes then
+    Error
+      (Printf.sprintf "admission refused: %d guaranteed frames exceed %d"
+         (guaranteed_total t + guarantee) t.nframes)
+  else begin
+    let c =
+      { domain; g = guarantee; o = optimistic; n = 0;
+        stack = Frame_stack.create (); notify_revoke = None;
+        pending_rev = None; live = true }
+    in
+    t.members <- t.members @ [ c ];
+    Ok c
+  end
+
+let set_revocation_handler c f = c.notify_revoke <- Some f
+
+let set_kill_handler t f = t.kill <- f
+
+let frame_stack c = c.stack
+let guarantee c = c.g
+let optimistic_quota c = c.o
+let held c = c.n
+let domain_id c = c.domain
+let is_live c = c.live
+let free_frames t = t.free_count
+let total_frames t = t.nframes
+let revocations t = t.intrusive_count
+let transparent_revocations t = t.transparent_count
+
+let grant t c pfn =
+  Ramtab.set_owner t.ramtab ~pfn ~owner:c.domain ~width:Addr.page_shift;
+  Frame_stack.push c.stack pfn;
+  c.n <- c.n + 1
+
+(* Reclaim one frame from the top of a victim's stack; the frame must
+   already be unused. *)
+let reclaim_top t victim =
+  match Frame_stack.top_k victim.stack 1 with
+  | [ pfn ] when Ramtab.state t.ramtab ~pfn = Ramtab.Unused ->
+    ignore (Frame_stack.remove victim.stack pfn);
+    Ramtab.clear_owner t.ramtab ~pfn;
+    victim.n <- victim.n - 1;
+    pool_put t pfn;
+    true
+  | _ -> false
+
+let release_all_frames t c =
+  List.iter
+    (fun pfn ->
+      Ramtab.set_state t.ramtab ~pfn Ramtab.Unused;
+      Ramtab.clear_owner t.ramtab ~pfn;
+      pool_put t pfn)
+    (Frame_stack.to_list c.stack);
+  List.iter (fun pfn -> ignore (Frame_stack.remove c.stack pfn))
+    (Frame_stack.to_list c.stack);
+  c.n <- 0
+
+let kill_victim t victim =
+  victim.live <- false;
+  victim.pending_rev <- None;
+  t.members <- List.filter (fun c -> c.domain <> victim.domain) t.members;
+  release_all_frames t victim;
+  t.kill victim.domain
+
+let revocation_ready _t c =
+  match c.pending_rev with
+  | None -> ()
+  | Some rev -> Sync.Ivar.fill rev.ready ()
+
+(* Pick the domain holding the most optimistic frames. *)
+let pick_victim t ~requester =
+  List.fold_left
+    (fun best c ->
+      if c.live && c.domain <> requester.domain && c.n > c.g then
+        match best with
+        | Some b when b.n - b.g >= c.n - c.g -> best
+        | _ -> Some c
+      else best)
+    None t.members
+
+(* Transparent first: reclaim already-unused frames off the top of the
+   victim's stack. Returns how many frames were recovered. *)
+let transparent_reclaim t victim ~want =
+  let got = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !got < want do
+    if reclaim_top t victim then incr got else continue_ := false
+  done;
+  if !got > 0 then t.transparent_count <- t.transparent_count + 1;
+  !got
+
+let intrusive_reclaim t victim ~want =
+  match victim.notify_revoke with
+  | None ->
+    (* A domain that cannot handle revocation notifications should not
+       hold optimistic frames; it flunks the protocol immediately. *)
+    kill_victim t victim;
+    min want t.free_count
+  | Some notify ->
+    t.intrusive_count <- t.intrusive_count + 1;
+    let deadline = Time.add (Sim.now t.sim) t.deadline_span in
+    let rev = { rev_k = want; ready = Sync.Ivar.create () } in
+    victim.pending_rev <- Some rev;
+    notify ~k:want ~deadline;
+    (* Wait for the ready reply or the deadline, whichever first. *)
+    let replied =
+      Sync.Ivar.read_timeout rev.ready t.deadline_span <> None
+    in
+    ignore deadline;
+    victim.pending_rev <- None;
+    if not replied then begin
+      kill_victim t victim;
+      want
+    end
+    else begin
+      (* Verify: the top k frames must all be unused now. *)
+      let got = ref 0 in
+      let ok = ref true in
+      while !ok && !got < rev.rev_k do
+        if reclaim_top t victim then incr got else ok := false
+      done;
+      if !got < rev.rev_k then begin
+        kill_victim t victim;
+        rev.rev_k
+      end
+      else !got
+    end
+
+(* How many frames to reclaim per revocation round: batching amortises
+   the notification round trip and the victim's cleaning set-up over
+   several frames ("release k frames by time T"). *)
+let revocation_batch = 8
+
+(* Ensure at least one free frame for a guaranteed allocation. *)
+let rec make_free t ~requester =
+  if t.free_count > 0 then true
+  else begin
+    Sync.Semaphore.acquire t.rev_lock;
+    let result =
+      if t.free_count > 0 then true
+      else begin
+        match pick_victim t ~requester with
+        | None -> false
+        | Some victim ->
+          let want = max 1 (min revocation_batch (victim.n - victim.g)) in
+          let got = transparent_reclaim t victim ~want in
+          let got =
+            if got > 0 then got else intrusive_reclaim t victim ~want
+          in
+          ignore got;
+          t.free_count > 0
+      end
+    in
+    Sync.Semaphore.release t.rev_lock;
+    if result then true
+    else if pick_victim t ~requester <> None then make_free t ~requester
+    else false
+  end
+
+let alloc t c =
+  if not c.live then None
+  else if c.n < c.g then begin
+    (* Guaranteed: must succeed, revoking optimistic frames if needed. *)
+    if make_free t ~requester:c then begin
+      match pool_take_any t with
+      | Some pfn ->
+        grant t c pfn;
+        Some pfn
+      | None -> None (* impossible while Σg <= nframes; defensive *)
+    end
+    else None
+  end
+  else if c.n < c.g + c.o && t.free_count > 0 then begin
+    match pool_take_any t with
+    | Some pfn ->
+      grant t c pfn;
+      Some pfn
+    | None -> None
+  end
+  else None
+
+(* Quota check shared by the placement-constrained allocators: these
+   never trigger revocation (a constrained request "may or may not
+   succeed", as the paper notes for multi-frame requests under
+   fragmentation). *)
+let within_quota c = c.live && c.n < c.g + c.o
+
+let alloc_matching t c pred =
+  if not (within_quota c) then None
+  else
+    match pool_take_matching t pred with
+    | Some pfn ->
+      grant t c pfn;
+      Some pfn
+    | None -> None
+
+let alloc_specific t c ~pfn =
+  if pfn < 0 || pfn >= t.nframes then
+    Error "frame number out of range"
+  else if not (within_quota c) then Error "quota exhausted"
+  else if not t.avail.(pfn) then Error "frame not free"
+  else begin
+    pool_take t pfn;
+    grant t c pfn;
+    Ok ()
+  end
+
+let alloc_in_region t c ~region =
+  match List.find_opt (fun r -> r.rname = region) t.regions with
+  | None -> None
+  | Some r ->
+    alloc_matching t c (fun pfn -> pfn >= r.first && pfn < r.first + r.count)
+
+(* Superpage support: an aligned run of 2^log2 contiguous frames, so a
+   single wide TLB mapping can cover it. The RamTab records the logical
+   frame width on every frame of the run. *)
+let alloc_run t c ~log2 =
+  if log2 < 0 || log2 > 10 then invalid_arg "Frames.alloc_run: bad width";
+  let count = 1 lsl log2 in
+  if not c.live || c.n + count > c.g + c.o then None
+  else begin
+    let rec scan base =
+      if base + count > t.nframes then None
+      else begin
+        let all_free = ref true in
+        for i = base to base + count - 1 do
+          if not t.avail.(i) then all_free := false
+        done;
+        if !all_free then Some base else scan (base + count)
+      end
+    in
+    match scan 0 with
+    | None -> None
+    | Some base ->
+      for pfn = base to base + count - 1 do
+        pool_take t pfn;
+        Ramtab.set_owner t.ramtab ~pfn ~owner:c.domain
+          ~width:(Addr.page_shift + log2);
+        Frame_stack.push c.stack pfn
+      done;
+      c.n <- c.n + count;
+      Some base
+  end
+
+let alloc_colored t c ~color ~colors =
+  if colors <= 0 || color < 0 || color >= colors then
+    invalid_arg "Frames.alloc_colored: bad colour";
+  alloc_matching t c (fun pfn -> pfn mod colors = color)
+
+let regions t = List.map (fun r -> (r.rname, r.first, r.count)) t.regions
+
+let free t c pfn =
+  if Ramtab.owner t.ramtab ~pfn <> Some c.domain then
+    invalid_arg "Frames.free: frame not owned by client";
+  if Ramtab.state t.ramtab ~pfn <> Ramtab.Unused then
+    invalid_arg "Frames.free: frame still in use";
+  if not (Frame_stack.remove c.stack pfn) then
+    invalid_arg "Frames.free: frame not on client's stack";
+  Ramtab.clear_owner t.ramtab ~pfn;
+  c.n <- c.n - 1;
+  pool_put t pfn
+
+let retire t c =
+  if c.live then begin
+    c.live <- false;
+    t.members <- List.filter (fun c' -> c'.domain <> c.domain) t.members;
+    release_all_frames t c
+  end

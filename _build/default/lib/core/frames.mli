@@ -1,0 +1,110 @@
+(** The frames allocator: central physical-memory allocation with
+    per-domain contracts and application-controlled revocation.
+
+    Each client domain is admitted with a service contract [(g, o)] —
+    quotas of {e guaranteed} and {e optimistic} frames. Admission
+    control keeps Σg no larger than main memory, so every guarantee can
+    be met simultaneously. While a domain holds fewer than [g] frames,
+    an allocation request is guaranteed to succeed (possibly after
+    revoking optimistically allocated frames from another domain);
+    beyond that, frames are granted optimistically while free memory
+    lasts.
+
+    Revocation always takes from the {e top} of the victim's frame
+    stack. If the top frames are unused it is {b transparent} — the
+    allocator simply reclaims them. Otherwise it is {b intrusive}: the
+    victim receives a revocation notification asking it to make [k]
+    frames unused by a deadline (generous — cleaning dirty pages may
+    need disk writes); when the victim signals ready, the allocator
+    verifies and reclaims. A victim that misses the deadline, or
+    replies with frames still in use, is killed and all its frames
+    reclaimed. *)
+
+open Engine
+open Hw
+
+type t
+
+type client
+
+val create :
+  ?revocation_deadline:Time.span -> Sim.t -> Ramtab.t -> nframes:int -> t
+(** Manage [nframes] physical frames (PFNs [0 .. nframes-1]).
+    [revocation_deadline] is the paper's T, default 100 ms. *)
+
+val admit :
+  t -> domain:int -> guarantee:int -> optimistic:int ->
+  (client, string) result
+(** Refused if Σ guarantees would exceed the number of frames. *)
+
+val retire : t -> client -> unit
+(** Release the contract and every frame the client still holds (used
+    for clean shutdown; killing is internal). *)
+
+val set_revocation_handler :
+  client -> (k:int -> deadline:Time.t -> unit) -> unit
+(** Invoked (from the allocator's context) to deliver a revocation
+    notification; the domain must arrange for the top [k] stack frames
+    to be unused and then call {!revocation_ready}. *)
+
+val set_kill_handler : t -> (int -> unit) -> unit
+(** Called with the domain id when a domain flunks the revocation
+    protocol. *)
+
+val alloc : t -> client -> int option
+(** Allocate one frame (default policy); may block (revocation). [None]
+    only when the client is over [g + o] or memory is exhausted beyond
+    what its guarantee covers. The frame is recorded in the RamTab and
+    pushed on top of the client's frame stack. *)
+
+(** {2 Fine-grained placement}
+
+    Applications with platform knowledge may request specific physical
+    frames, frames within a "special" region (e.g. DMA-accessible
+    memory), or frames of a particular cache colour. Constrained
+    requests never trigger revocation, so — like the paper's
+    multi-frame requests under fragmentation — they may fail even
+    within the guarantee. *)
+
+val add_region : t -> name:string -> first:int -> count:int -> unit
+(** Declare a named frame region (I/O space, DMA window, ...). *)
+
+val regions : t -> (string * int * int) list
+
+val alloc_specific : t -> client -> pfn:int -> (unit, string) result
+(** Request exactly frame [pfn]. *)
+
+val alloc_in_region : t -> client -> region:string -> int option
+
+val alloc_colored : t -> client -> color:int -> colors:int -> int option
+(** A frame whose number is congruent to [color] modulo [colors] —
+    page colouring for large direct-mapped caches. *)
+
+val alloc_run : t -> client -> log2:int -> int option
+(** An aligned run of [2^log2] contiguous frames for a superpage TLB
+    mapping; the RamTab records the logical frame width. Returns the
+    first frame of the run. *)
+
+val free : t -> client -> int -> unit
+(** Voluntarily return a frame. It must be unused (unmapped) in the
+    RamTab. *)
+
+val revocation_ready : t -> client -> unit
+(** The domain's reply that the top frames of its stack may now be
+    reclaimed. *)
+
+(** {2 Introspection} *)
+
+val frame_stack : client -> Frame_stack.t
+val guarantee : client -> int
+val optimistic_quota : client -> int
+val held : client -> int
+val domain_id : client -> int
+val is_live : client -> bool
+val free_frames : t -> int
+val total_frames : t -> int
+val guaranteed_total : t -> int
+val revocations : t -> int
+(** Count of intrusive revocation rounds performed. *)
+
+val transparent_revocations : t -> int

@@ -1,0 +1,27 @@
+open Hw
+
+type t = { asn : int; tbl : (int, Rights.t) Hashtbl.t }
+
+let create ~asn = { asn; tbl = Hashtbl.create 64 }
+
+let asn t = t.asn
+
+let lookup t sid = Hashtbl.find_opt t.tbl sid
+
+let effective t sid ~global =
+  match lookup t sid with Some r -> r | None -> global
+
+let set_changed t ~sid rights =
+  match lookup t sid with
+  | Some r when Rights.equal r rights -> false
+  | _ ->
+    Hashtbl.replace t.tbl sid rights;
+    true
+
+let set t ~sid rights = ignore (set_changed t ~sid rights)
+
+let clear t ~sid = Hashtbl.remove t.tbl sid
+
+let holds_meta t ~sid ~global = (effective t sid ~global).Rights.m
+
+let entries t = Hashtbl.length t.tbl

@@ -1,0 +1,41 @@
+(** Protection domains.
+
+    A protection domain maps every valid stretch to a subset of
+    {e read, write, execute, meta} rights. A domain executing in a
+    protection domain that holds the [meta] right for a stretch may
+    change that stretch's protections and mappings; the check is a
+    light-weight validation performed by the low-level translation
+    system (no call into the system domain needed).
+
+    Stretches without an explicit entry fall back to the global rights
+    stored in their page-table entries. *)
+
+open Hw
+
+type t
+
+val create : asn:int -> t
+(** [asn] is the hardware address-space number associated with the
+    protection domain. *)
+
+val asn : t -> int
+
+val lookup : t -> int -> Rights.t option
+(** Explicit rights for a stretch id, if any. *)
+
+val effective : t -> int -> global:Rights.t -> Rights.t
+(** Explicit rights, or [global] if none. *)
+
+val set : t -> sid:int -> Rights.t -> unit
+(** Install/replace the rights word. {b Idempotence}: setting rights
+    equal to the current ones is detected and free — callers can rely
+    on [set_changed] for that. *)
+
+val set_changed : t -> sid:int -> Rights.t -> bool
+(** Like [set], but reports whether anything changed. *)
+
+val clear : t -> sid:int -> unit
+
+val holds_meta : t -> sid:int -> global:Rights.t -> bool
+
+val entries : t -> int

@@ -1,0 +1,252 @@
+open Hw
+
+type mode = Shared | Private
+
+type backing = From_file | From_cow of int
+
+type pstate =
+  | On_file                      (* clean copy in the file, not resident *)
+  | Resident of { pfn : int; backing : backing }
+  | On_cow of int                (* private dirty copy, not resident *)
+
+type info = {
+  file_reads : int;
+  file_writebacks : int;
+  cow_writes : int;
+  cow_reads : int;
+  evictions : int;
+}
+
+type state = {
+  env : Stretch_driver.env;
+  mode : mode;
+  store : Usbs.File_store.t;
+  file : Usbs.File_store.file;
+  client : Usbs.Usd.client;
+  cow_backing : Usbs.File_store.file option;
+  cow_slots : Bloks.t;
+  mutable stretch : Stretch.t option;
+  mutable pages : pstate array;
+  mutable pool : int list;
+  resident_fifo : int Queue.t;
+  mutable file_reads : int;
+  mutable file_writebacks : int;
+  mutable cow_writes : int;
+  mutable cow_reads : int;
+  mutable evictions : int;
+}
+
+let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
+
+let the_stretch st =
+  match st.stretch with
+  | Some s -> s
+  | None -> failwith "mapped driver: no stretch bound"
+
+let take_pool st =
+  match st.pool with
+  | [] -> None
+  | pfn :: rest ->
+    st.pool <- rest;
+    Some pfn
+
+let bind st (s : Stretch.t) =
+  if st.stretch <> None then failwith "mapped driver: already bound";
+  let npages = Stretch.npages s in
+  if Usbs.File_store.file_pages st.file < npages then
+    failwith "mapped driver: file smaller than stretch";
+  (match (st.mode, st.cow_backing) with
+  | Private, Some b when Usbs.File_store.file_pages b < npages ->
+    failwith "mapped driver: cow backing smaller than stretch"
+  | Private, None -> failwith "mapped driver: private mapping needs backing"
+  | _ -> ());
+  st.stretch <- Some s;
+  st.pages <- Array.make npages On_file
+
+let owns_fault st (fault : Fault.t) =
+  match (fault.sid, st.stretch) with
+  | Some sid, Some s -> s.Stretch.sid = sid
+  | _ -> false
+
+(* Evict the oldest resident page; clean according to the mode. *)
+let evict_one st =
+  let env = st.env in
+  match Queue.take_opt st.resident_fifo with
+  | None -> None
+  | Some victim ->
+    (match st.pages.(victim) with
+    | Resident { pfn; backing } ->
+      let va = Stretch.page_base (the_stretch st) victim in
+      let pte = Stretch_driver.unmap_page env va in
+      let dirty = Pte.dirty pte in
+      env.Stretch_driver.assert_idc_allowed "USBS clean";
+      (match (st.mode, dirty, backing) with
+      | Shared, true, _ ->
+        (* Write back to the file itself. *)
+        Usbs.File_store.write_page st.store st.file ~client:st.client
+          ~page_index:victim;
+        st.file_writebacks <- st.file_writebacks + 1;
+        st.pages.(victim) <- On_file
+      | Private, true, _ ->
+        (* Copy-on-write: the dirty page goes to the private backing,
+           never to the file. The first copy pays the page-copy cost. *)
+        let slot =
+          match backing with
+          | From_cow slot -> slot
+          | From_file ->
+            env.Stretch_driver.consume_cpu
+              env.Stretch_driver.cost.Cost.page_copy;
+            (match Bloks.alloc st.cow_slots with
+            | Some slot -> slot
+            | None -> failwith "mapped driver: cow backing exhausted")
+        in
+        Usbs.File_store.write_page st.store (Option.get st.cow_backing)
+          ~client:st.client ~page_index:slot;
+        st.cow_writes <- st.cow_writes + 1;
+        st.pages.(victim) <- On_cow slot
+      | _, false, From_file -> st.pages.(victim) <- On_file
+      | _, false, From_cow slot -> st.pages.(victim) <- On_cow slot);
+      st.evictions <- st.evictions + 1;
+      Some pfn
+    | On_file | On_cow _ -> None)
+
+let obtain_frame st =
+  let env = st.env in
+  match take_pool st with
+  | Some pfn -> Some pfn
+  | None ->
+    env.Stretch_driver.assert_idc_allowed "frames allocator";
+    env.Stretch_driver.consume_cpu env.Stretch_driver.cost.Cost.idc_call;
+    (match
+       Frames.alloc env.Stretch_driver.frames env.Stretch_driver.frames_client
+     with
+    | Some pfn -> Some pfn
+    | None ->
+      let rec try_evict () =
+        match evict_one st with
+        | Some pfn -> Some pfn
+        | None ->
+          if Queue.is_empty st.resident_fifo then None else try_evict ()
+      in
+      try_evict ())
+
+(* Mapped pages always need a disk read, so the fast path only covers
+   the already-resident race. *)
+let fast st (fault : Fault.t) =
+  if not (owns_fault st fault) then
+    Stretch_driver.Failure "fault outside bound stretch"
+  else
+    match fault.kind with
+    | Mmu.Access_violation -> Stretch_driver.Failure "access violation"
+    | Mmu.Unallocated -> Stretch_driver.Failure "unallocated address"
+    | Mmu.Page_fault ->
+      let page = Stretch.page_index (the_stretch st) fault.va in
+      (match st.pages.(page) with
+      | Resident _ -> Stretch_driver.Success
+      | On_file | On_cow _ -> Stretch_driver.Retry)
+
+let full st (fault : Fault.t) =
+  if not (owns_fault st fault) then
+    Stretch_driver.Failure "fault outside bound stretch"
+  else
+    match fault.kind with
+    | Mmu.Access_violation -> Stretch_driver.Failure "access violation"
+    | Mmu.Unallocated -> Stretch_driver.Failure "unallocated address"
+    | Mmu.Page_fault ->
+      let env = st.env in
+      let page = Stretch.page_index (the_stretch st) fault.va in
+      (match st.pages.(page) with
+      | Resident _ -> Stretch_driver.Success
+      | (On_file | On_cow _) as where ->
+        (match obtain_frame st with
+        | None -> Stretch_driver.Failure "no frame obtainable"
+        | Some pfn ->
+          env.Stretch_driver.assert_idc_allowed "USBS read";
+          let backing =
+            match where with
+            | On_file ->
+              Usbs.File_store.read_page st.store st.file ~client:st.client
+                ~page_index:page;
+              st.file_reads <- st.file_reads + 1;
+              From_file
+            | On_cow slot ->
+              Usbs.File_store.read_page st.store
+                (Option.get st.cow_backing) ~client:st.client
+                ~page_index:slot;
+              st.cow_reads <- st.cow_reads + 1;
+              From_cow slot
+            | Resident _ -> assert false
+          in
+          let va = Stretch.page_base (the_stretch st) page in
+          Stretch_driver.map_page env va ~pfn;
+          st.pages.(page) <- Resident { pfn; backing };
+          Queue.add page st.resident_fifo;
+          Frame_stack.move_to_bottom (stack st) pfn;
+          Stretch_driver.Success))
+
+let relinquish st ~want =
+  let given = ref 0 in
+  while !given < want && st.pool <> [] do
+    match take_pool st with
+    | Some pfn ->
+      Frame_stack.move_to_top (stack st) pfn;
+      incr given
+    | None -> ()
+  done;
+  let continue_ = ref true in
+  while !given < want && !continue_ do
+    match evict_one st with
+    | Some pfn ->
+      Frame_stack.move_to_top (stack st) pfn;
+      incr given
+    | None -> if Queue.is_empty st.resident_fifo then continue_ := false
+  done;
+  !given
+
+let create ?(initial_frames = 0) ~mode ~store ~file ~client ?cow_backing env =
+  (match (mode, cow_backing) with
+  | Private, None -> Error "private mapping needs a cow backing file"
+  | _ -> Ok ())
+  |> function
+  | Error _ as e -> e
+  | Ok () ->
+    let st =
+      { env; mode; store; file; client; cow_backing;
+        cow_slots =
+          Bloks.create
+            ~nbloks:
+              (max 1
+                 (match cow_backing with
+                 | Some b -> Usbs.File_store.file_pages b
+                 | None -> 1));
+        stretch = None; pages = [||]; pool = [];
+        resident_fifo = Queue.create (); file_reads = 0; file_writebacks = 0;
+        cow_writes = 0; cow_reads = 0; evictions = 0 }
+    in
+    let shortfall = ref 0 in
+    for _ = 1 to initial_frames do
+      match
+        Frames.alloc env.Stretch_driver.frames
+          env.Stretch_driver.frames_client
+      with
+      | Some pfn -> st.pool <- pfn :: st.pool
+      | None -> incr shortfall
+    done;
+    if !shortfall > 0 then
+      Error (Printf.sprintf "could not preallocate %d frames" !shortfall)
+    else
+      Ok
+        ( { Stretch_driver.name =
+              (match mode with Shared -> "mapped" | Private -> "mapped(cow)");
+            bind = bind st;
+            fast = fast st;
+            full = full st;
+            relinquish = relinquish st;
+            resident_pages = (fun () -> Queue.length st.resident_fifo);
+            free_frames = (fun () -> List.length st.pool) },
+          fun () ->
+            { file_reads = st.file_reads;
+              file_writebacks = st.file_writebacks;
+              cow_writes = st.cow_writes;
+              cow_reads = st.cow_reads;
+              evictions = st.evictions } )

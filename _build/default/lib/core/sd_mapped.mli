@@ -1,0 +1,37 @@
+(** Memory-mapped-file stretch driver.
+
+    The paper closes by arguing that "virtual memory techniques such as
+    demand-paging and memory mapped files have proved useful... failing
+    to support them in the continuous media operating systems of the
+    future would detract value". This driver demonstrates the second
+    technique on the same self-paging architecture: a stretch backed by
+    a {!Usbs.File_store} file, with all data-path I/O performed through
+    the owning domain's own USD client.
+
+    Two mappings:
+
+    - [Shared]: dirty pages are written back to the file at eviction;
+    - [Private]: copy-on-write — the file is never modified; a page's
+      first dirty eviction copies it to a private backing file (the
+      copy cost is charged to the domain), and it pages in from there
+      afterwards.
+
+    One driver backs exactly one stretch, like the paged driver. *)
+
+type mode = Shared | Private
+
+type info = {
+  file_reads : int;
+  file_writebacks : int;  (** Shared mode only *)
+  cow_writes : int;       (** first-dirty copies + private re-cleans *)
+  cow_reads : int;
+  evictions : int;
+}
+
+val create :
+  ?initial_frames:int -> mode:mode -> store:Usbs.File_store.t ->
+  file:Usbs.File_store.file -> client:Usbs.Usd.client ->
+  ?cow_backing:Usbs.File_store.file -> Stretch_driver.env ->
+  (Stretch_driver.t * (unit -> info), string) result
+(** [cow_backing] is required for [Private] (it must have at least as
+    many pages as the stretch bound later). *)

@@ -1,0 +1,44 @@
+open Hw
+
+type state = {
+  env : Stretch_driver.env;
+  mutable nailed : int; (* pages nailed *)
+}
+
+let bind st (s : Stretch.t) =
+  let env = st.env in
+  let ramtab = Translation.ramtab env.translation in
+  for i = 0 to Stretch.npages s - 1 do
+    match Frames.alloc env.frames env.frames_client with
+    | None ->
+      failwith
+        (Printf.sprintf "%s: nailed bind: out of frames at page %d"
+           env.domain_name i)
+    | Some pfn ->
+      let va = Stretch.page_base s i in
+      Stretch_driver.map_page env va ~pfn;
+      Ramtab.set_state ramtab ~pfn Ramtab.Nailed;
+      env.consume_cpu env.cost.Cost.page_zero;
+      (* Nailed frames are never revocable: keep them least revocable. *)
+      Frame_stack.move_to_bottom (Frames.frame_stack env.frames_client) pfn;
+      st.nailed <- st.nailed + 1
+  done
+
+let create env =
+  let st = { env; nailed = 0 } in
+  Ok
+    { Stretch_driver.name = "nailed";
+      bind = bind st;
+      fast =
+        (fun fault ->
+          Stretch_driver.Failure
+            (Format.asprintf "nailed stretch should never fault (%a)" Fault.pp
+               fault));
+      full =
+        (fun fault ->
+          Stretch_driver.Failure
+            (Format.asprintf "nailed stretch should never fault (%a)" Fault.pp
+               fault));
+      relinquish = (fun ~want:_ -> 0);
+      resident_pages = (fun () -> st.nailed);
+      free_frames = (fun () -> 0) }

@@ -1,0 +1,13 @@
+(** The nailed stretch driver.
+
+    Provides physical frames to back the whole stretch at bind time, so
+    it never deals with page faults: any fault on one of its stretches
+    is an error. Frames backing nailed stretches are marked [Nailed] in
+    the RamTab and are never offered to the revocation protocol. *)
+
+val create :
+  Stretch_driver.env -> (Stretch_driver.t, string) result
+(** Fails if the domain's frame contract cannot cover a bind. The
+    driver allocates frames lazily at each [bind] call; a bind that
+    cannot get enough guaranteed frames raises [Failure] (nailed memory
+    must not be optimistic). *)

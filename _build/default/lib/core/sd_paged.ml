@@ -1,0 +1,275 @@
+open Hw
+
+type pstate =
+  | Fresh  (* no contents yet: demand-zero on touch *)
+  | Resident of { pfn : int; clean_on_disk : bool }
+  | Swapped
+
+type info = {
+  page_ins : int;
+  page_outs : int;
+  demand_zeros : int;
+  evictions : int;
+  prefetched : int;
+}
+
+type state = {
+  env : Stretch_driver.env;
+  swap : Usbs.Sfs.swapfile;
+  forgetful : bool;
+  readahead : int;
+  bitmap : Bloks.t;
+  mutable stretch : Stretch.t option;
+  mutable pages : pstate array;       (* per page of the stretch *)
+  mutable blok_of_page : int array;   (* -1 = none assigned *)
+  mutable pool : int list;            (* owned, unmapped frames *)
+  resident_fifo : int Queue.t;        (* page indices, map order *)
+  mutable page_ins : int;
+  mutable page_outs : int;
+  mutable demand_zeros : int;
+  mutable evictions : int;
+  mutable prefetched : int;
+}
+
+let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
+
+let the_stretch st =
+  match st.stretch with
+  | Some s -> s
+  | None -> failwith "paged driver: no stretch bound"
+
+let take_pool st =
+  match st.pool with
+  | [] -> None
+  | pfn :: rest ->
+    st.pool <- rest;
+    Some pfn
+
+let bind st (s : Stretch.t) =
+  if st.stretch <> None then
+    failwith "paged driver: already bound to a stretch";
+  let npages = Stretch.npages s in
+  if Usbs.Sfs.page_capacity st.swap < npages then
+    failwith
+      (Printf.sprintf
+         "paged driver: swap too small (%d pages) for stretch (%d pages)"
+         (Usbs.Sfs.page_capacity st.swap) npages);
+  st.stretch <- Some s;
+  st.pages <- Array.make npages Fresh;
+  st.blok_of_page <- Array.make npages (-1)
+
+let owns_fault st (fault : Fault.t) =
+  match (fault.sid, st.stretch) with
+  | Some sid, Some s -> s.Stretch.sid = sid
+  | _ -> false
+
+(* Map [page] into [pfn] as a demand-zeroed page. *)
+let install_zero st page pfn =
+  let env = st.env in
+  let va = Stretch.page_base (the_stretch st) page in
+  Stretch_driver.map_page env va ~pfn;
+  env.Stretch_driver.consume_cpu env.Stretch_driver.cost.Cost.page_zero;
+  st.pages.(page) <- Resident { pfn; clean_on_disk = false };
+  Queue.add page st.resident_fifo;
+  Frame_stack.move_to_bottom (stack st) pfn;
+  st.demand_zeros <- st.demand_zeros + 1
+
+(* Ensure the page has a blok assigned (first-fit from the bitmap). *)
+let blok_for st page =
+  if st.blok_of_page.(page) >= 0 then st.blok_of_page.(page)
+  else
+    match Bloks.alloc st.bitmap with
+    | Some b ->
+      st.blok_of_page.(page) <- b;
+      b
+    | None -> failwith "paged driver: swap space exhausted"
+
+(* Evict the oldest resident page, cleaning it to the USBS first if
+   needed, and hand back its frame. Blocking (disk I/O): worker-thread
+   context only. *)
+let evict_one st =
+  let env = st.env in
+  match Queue.take_opt st.resident_fifo with
+  | None -> None
+  | Some victim ->
+    (match st.pages.(victim) with
+    | Resident { pfn; clean_on_disk } ->
+      let va = Stretch.page_base (the_stretch st) victim in
+      let pte = Stretch_driver.unmap_page env va in
+      let dirty = Pte.dirty pte in
+      let must_clean = st.forgetful || dirty || not clean_on_disk in
+      if must_clean then begin
+        env.Stretch_driver.assert_idc_allowed "USBS write";
+        let blok = blok_for st victim in
+        Usbs.Sfs.write_page st.swap ~page_index:blok;
+        st.page_outs <- st.page_outs + 1
+      end;
+      st.evictions <- st.evictions + 1;
+      (* The paging-out experiment's driver forgets the disk copy. *)
+      if st.forgetful then st.pages.(victim) <- Fresh
+      else st.pages.(victim) <- Swapped;
+      Some pfn
+    | Fresh | Swapped ->
+      (* Stale FIFO entry (page already evicted via revocation). *)
+      None)
+
+let fast st (fault : Fault.t) =
+  if not (owns_fault st fault) then
+    Stretch_driver.Failure "fault outside bound stretch"
+  else
+    match fault.kind with
+    | Mmu.Access_violation -> Stretch_driver.Failure "access violation"
+    | Mmu.Unallocated -> Stretch_driver.Failure "unallocated address"
+    | Mmu.Page_fault ->
+      let page = Stretch.page_index (the_stretch st) fault.va in
+      (match st.pages.(page) with
+      | Resident _ ->
+        (* Raced with another thread's fault on the same page. *)
+        Stretch_driver.Success
+      | Swapped -> Stretch_driver.Retry (* needs disk: worker path *)
+      | Fresh ->
+        (match take_pool st with
+        | Some pfn ->
+          install_zero st page pfn;
+          Stretch_driver.Success
+        | None -> Stretch_driver.Retry))
+
+(* Get a frame by any means: pool, allocator, or eviction. *)
+let obtain_frame st =
+  let env = st.env in
+  match take_pool st with
+  | Some pfn -> Some pfn
+  | None ->
+    env.Stretch_driver.assert_idc_allowed "frames allocator";
+    env.Stretch_driver.consume_cpu env.Stretch_driver.cost.Cost.idc_call;
+    (match Frames.alloc env.Stretch_driver.frames env.Stretch_driver.frames_client with
+    | Some pfn -> Some pfn
+    | None ->
+      let rec try_evict () =
+        match evict_one st with
+        | Some pfn -> Some pfn
+        | None -> if Queue.is_empty st.resident_fifo then None else try_evict ()
+      in
+      try_evict ())
+
+let full st (fault : Fault.t) =
+  if not (owns_fault st fault) then
+    Stretch_driver.Failure "fault outside bound stretch"
+  else
+    match fault.kind with
+    | Mmu.Access_violation -> Stretch_driver.Failure "access violation"
+    | Mmu.Unallocated -> Stretch_driver.Failure "unallocated address"
+    | Mmu.Page_fault ->
+      let env = st.env in
+      let page = Stretch.page_index (the_stretch st) fault.va in
+      (match st.pages.(page) with
+      | Resident _ -> Stretch_driver.Success
+      | Fresh ->
+        (match obtain_frame st with
+        | Some pfn ->
+          install_zero st page pfn;
+          Stretch_driver.Success
+        | None -> Stretch_driver.Failure "no frame obtainable")
+      | Swapped ->
+        (match obtain_frame st with
+        | Some pfn ->
+          env.Stretch_driver.assert_idc_allowed "USBS read";
+          (* Stream paging: extend the read to a run of consecutive
+             swapped pages whose bloks are contiguous on disk, as far
+             as spare frames allow — one bigger disk transaction
+             instead of several small ones. *)
+          let npages = Array.length st.pages in
+          let blok0 = st.blok_of_page.(page) in
+          assert (blok0 >= 0);
+          let frames = ref [ (page, pfn) ] in
+          let run = ref 1 in
+          let continue_ = ref (st.readahead > 0) in
+          while !continue_ && !run <= st.readahead do
+            let p = page + !run in
+            if
+              p < npages
+              && st.pages.(p) = Swapped
+              && st.blok_of_page.(p) = blok0 + !run
+            then begin
+              (* Spare frames first, else recycle the oldest resident
+                 (for a streaming reader it is clean, so this costs no
+                 disk write; FIFO order keeps the current run safe). *)
+              let frame =
+                match take_pool st with
+                | Some f -> Some f
+                | None -> evict_one st
+              in
+              match frame with
+              | Some f ->
+                frames := (p, f) :: !frames;
+                incr run
+              | None -> continue_ := false
+            end
+            else continue_ := false
+          done;
+          Usbs.Sfs.read_pages st.swap ~page_index:blok0 ~npages:!run;
+          List.iter
+            (fun (p, f) ->
+              let va = Stretch.page_base (the_stretch st) p in
+              Stretch_driver.map_page env va ~pfn:f;
+              st.pages.(p) <- Resident { pfn = f; clean_on_disk = true };
+              Queue.add p st.resident_fifo;
+              Frame_stack.move_to_bottom (stack st) f)
+            (List.rev !frames);
+          st.page_ins <- st.page_ins + !run;
+          st.prefetched <- st.prefetched + (!run - 1);
+          Stretch_driver.Success
+        | None -> Stretch_driver.Failure "no frame obtainable"))
+
+(* Revocation: expose pool frames, then clean and evict residents. *)
+let relinquish st ~want =
+  let given = ref 0 in
+  while !given < want && st.pool <> [] do
+    match take_pool st with
+    | Some pfn ->
+      Frame_stack.move_to_top (stack st) pfn;
+      incr given
+    | None -> ()
+  done;
+  let continue_ = ref true in
+  while !given < want && !continue_ do
+    match evict_one st with
+    | Some pfn ->
+      Frame_stack.move_to_top (stack st) pfn;
+      incr given
+    | None -> if Queue.is_empty st.resident_fifo then continue_ := false
+  done;
+  !given
+
+let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0) ~swap
+    env =
+  if readahead < 0 then invalid_arg "Sd_paged.create: negative readahead";
+  let st =
+    { env; swap; forgetful; readahead;
+      bitmap = Bloks.create ~nbloks:(max 1 (Usbs.Sfs.page_capacity swap));
+      stretch = None; pages = [||]; blok_of_page = [||]; pool = [];
+      resident_fifo = Queue.create (); page_ins = 0; page_outs = 0;
+      demand_zeros = 0; evictions = 0; prefetched = 0 }
+  in
+  let shortfall = ref 0 in
+  for _ = 1 to initial_frames do
+    match Frames.alloc env.Stretch_driver.frames env.Stretch_driver.frames_client with
+    | Some pfn -> st.pool <- pfn :: st.pool
+    | None -> incr shortfall
+  done;
+  if !shortfall > 0 then
+    Error (Printf.sprintf "could not preallocate %d frames" !shortfall)
+  else
+    Ok
+      ( { Stretch_driver.name =
+            (if forgetful then "paged(forgetful)" else "paged");
+          bind = bind st;
+          fast = fast st;
+          full = full st;
+          relinquish = relinquish st;
+          resident_pages = (fun () -> Queue.length st.resident_fifo);
+          free_frames = (fun () -> List.length st.pool) },
+        fun () ->
+          { page_ins = st.page_ins; page_outs = st.page_outs;
+            demand_zeros = st.demand_zeros; evictions = st.evictions;
+            prefetched = st.prefetched } )

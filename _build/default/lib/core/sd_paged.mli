@@ -1,0 +1,40 @@
+(** The paged stretch driver.
+
+    An extension of the physical stretch driver with a binding to the
+    User-Safe Backing Store: pages may be swapped in and out of a swap
+    file whose disk transactions run under the domain's own disk
+    guarantee. Swap space is tracked as a bitmap of {e bloks} (see
+    {!Bloks}); a page is assigned a blok the first time it must be
+    cleaned, and keeps it (the paper's demand-paged scheme is "fairly
+    pure": no pre-paging, eviction strictly on demand, FIFO victims).
+
+    [forgetful] reproduces the paper's paging-{e out} experiment
+    (Figure 8): the driver "forgets" that pages have a copy on disk, so
+    it never pages in — every fault is a demand-zero fill and every
+    eviction is a dirty write-back.
+
+    [readahead] enables the {e stream-paging} extension the paper
+    points to as future work: a page-in is widened to a run of up to
+    [readahead] further consecutive swapped pages whose bloks are
+    contiguous on disk, using only spare frames (never evicting to
+    prefetch), so several page-ins collapse into one disk transaction.
+
+    One paged driver backs exactly one stretch. *)
+
+type info = {
+  page_ins : int;
+  page_outs : int;
+  demand_zeros : int;
+  evictions : int;
+  prefetched : int;  (** pages brought in by stream-paging read-ahead *)
+}
+
+val create :
+  ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
+  swap:Usbs.Sfs.swapfile -> Stretch_driver.env ->
+  (Stretch_driver.t * (unit -> info), string) result
+(** [initial_frames] are allocated from the frames allocator up front
+    (the paper's time-sensitive applications take all their guaranteed
+    frames at initialisation). Fails if they cannot be obtained or the
+    swap file is too small for the stretch once bound. The [info]
+    thunk reports paging statistics. *)

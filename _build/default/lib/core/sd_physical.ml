@@ -1,0 +1,99 @@
+open Hw
+
+type state = {
+  env : Stretch_driver.env;
+  mutable pool : int list;  (* owned, unmapped frames *)
+  mutable bound : Stretch.t list;
+  mapped : Addr.vaddr Queue.t; (* mapped pages, oldest first *)
+}
+
+let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
+
+let take_pool st =
+  match st.pool with
+  | [] -> None
+  | pfn :: rest ->
+    st.pool <- rest;
+    Some pfn
+
+(* Map a demand-zero page from an already-held frame. *)
+let map_zero st va pfn =
+  let env = st.env in
+  Stretch_driver.map_page env va ~pfn;
+  env.Stretch_driver.consume_cpu env.Stretch_driver.cost.Cost.page_zero;
+  Queue.add (Addr.vaddr_of_vpn (Addr.vpn_of_vaddr va)) st.mapped;
+  (* A mapped frame is the last thing we want revoked. *)
+  Frame_stack.move_to_bottom (stack st) pfn
+
+let owns_fault st (fault : Fault.t) =
+  match fault.sid with
+  | None -> false
+  | Some sid -> List.exists (fun (s : Stretch.t) -> s.Stretch.sid = sid) st.bound
+
+let fast st (fault : Fault.t) =
+  if not (owns_fault st fault) then
+    Stretch_driver.Failure "fault outside bound stretches"
+  else
+    match fault.kind with
+    | Mmu.Page_fault ->
+      (match take_pool st with
+      | Some pfn ->
+        map_zero st fault.va pfn;
+        Stretch_driver.Success
+      | None -> Stretch_driver.Retry)
+    | Mmu.Access_violation -> Stretch_driver.Failure "access violation"
+    | Mmu.Unallocated -> Stretch_driver.Failure "unallocated address"
+
+(* Worker-thread path: may talk to the frames allocator. *)
+let full st (fault : Fault.t) =
+  match fast st fault with
+  | Stretch_driver.Retry ->
+    let env = st.env in
+    env.Stretch_driver.assert_idc_allowed "frames allocator";
+    env.Stretch_driver.consume_cpu env.Stretch_driver.cost.Cost.idc_call;
+    (match Frames.alloc env.Stretch_driver.frames env.Stretch_driver.frames_client with
+    | Some pfn ->
+      map_zero st fault.va pfn;
+      Stretch_driver.Success
+    | None -> Stretch_driver.Failure "frames allocator refused")
+  | r -> r
+
+let relinquish st ~want =
+  let env = st.env in
+  let given = ref 0 in
+  (* Unused pool frames first: just expose them at the stack top. *)
+  while !given < want && st.pool <> [] do
+    match take_pool st with
+    | Some pfn ->
+      Frame_stack.move_to_top (stack st) pfn;
+      incr given
+    | None -> ()
+  done;
+  (* Then sacrifice mapped pages (no backing store: contents lost). *)
+  while !given < want && not (Queue.is_empty st.mapped) do
+    let va = Queue.pop st.mapped in
+    let pte = Stretch_driver.unmap_page env va in
+    Frame_stack.move_to_top (stack st) (Pte.pfn pte);
+    incr given
+  done;
+  !given
+
+let create ?(prealloc = 0) env =
+  let st = { env; pool = []; bound = []; mapped = Queue.create () } in
+  let shortfall = ref 0 in
+  for _ = 1 to prealloc do
+    match Frames.alloc env.Stretch_driver.frames env.Stretch_driver.frames_client with
+    | Some pfn -> st.pool <- pfn :: st.pool
+    | None -> incr shortfall
+  done;
+  if !shortfall > 0 then
+    Error (Printf.sprintf "could not preallocate %d frames" !shortfall)
+  else
+    Ok
+      { Stretch_driver.name = "physical";
+        bind = (fun s -> st.bound <- s :: st.bound);
+        fast = fast st;
+        full = full st;
+        relinquish = relinquish st;
+        resident_pages = (fun () -> Queue.length st.mapped);
+        free_frames = (fun () -> List.length st.pool) }

@@ -1,0 +1,16 @@
+(** The physical stretch driver.
+
+    Provides no backing initially: the first authorised access to a
+    page faults; the driver then maps a demand-zeroed frame. The fast
+    path (inside the notification handler) succeeds when the driver
+    already holds an unused frame; otherwise it returns [Retry] and a
+    worker thread requests more frames from the frames allocator (an
+    IDC operation) before mapping.
+
+    There is no backing store: relinquishing a mapped page under
+    revocation discards its contents (users of purely physical
+    stretches are expected to run on guaranteed frames). *)
+
+val create :
+  ?prealloc:int -> Stretch_driver.env -> (Stretch_driver.t, string) result
+(** [prealloc] frames are requested from the allocator immediately. *)

@@ -1,0 +1,44 @@
+open Hw
+
+type t = {
+  sid : int;
+  base : Addr.vaddr;
+  bytes : int;
+  mutable owner : int;
+  global : Rights.t;
+}
+
+let npages t = Addr.round_up_pages t.bytes
+
+let contains t va = va >= t.base && va < t.base + t.bytes
+
+let page_base t i =
+  if i < 0 || i >= npages t then invalid_arg "Stretch.page_base: out of range";
+  t.base + (i * Addr.page_size)
+
+let page_index t va =
+  if not (contains t va) then invalid_arg "Stretch.page_index: outside stretch";
+  (va - t.base) / Addr.page_size
+
+let check_meta t ~caller =
+  if Pdom.holds_meta caller ~sid:t.sid ~global:t.global then Ok ()
+  else Error Translation.No_meta
+
+let set_rights_pdom t ~caller ~target rights =
+  match check_meta t ~caller with
+  | Error e -> Error e
+  | Ok () ->
+    let changed = Pdom.set_changed target ~sid:t.sid rights in
+    (* The protection scheme detects idempotent changes (the paper
+       leans on this when benchmarking): only a real change pays the
+       update cost. *)
+    let c = Cost.nemesis in
+    Ok (if changed then c.Cost.syscall + c.Cost.pdom_update else c.Cost.syscall)
+
+let set_rights_pt t ~caller translation rights =
+  Translation.protect_range translation ~pdom:caller ~base:t.base
+    ~npages:(npages t) rights
+
+let pp ppf t =
+  Format.fprintf ppf "stretch#%d [%a..%a) %db owner=%d" t.sid Addr.pp_vaddr
+    t.base Addr.pp_vaddr (t.base + t.bytes) t.bytes t.owner

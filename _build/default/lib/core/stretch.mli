@@ -1,0 +1,44 @@
+(** Stretches: ranges of virtual addresses with an accessibility.
+
+    A stretch owns no physical resources; only through its binding to a
+    stretch driver does it acquire backing. Protection is at stretch
+    granularity and is changed through this interface, which validates
+    that the caller holds the [meta] right and then talks straight to
+    the low-level translation system (no system-domain involvement) —
+    either by rewriting page-table entries, or by updating a protection
+    domain's rights word (the O(1) variant). *)
+
+open Engine
+open Hw
+
+type t = {
+  sid : int;
+  base : Addr.vaddr;
+  bytes : int;
+  mutable owner : int;  (** owning domain id *)
+  global : Rights.t;    (** global rights installed at creation *)
+}
+
+val npages : t -> int
+val contains : t -> Addr.vaddr -> bool
+val page_base : t -> int -> Addr.vaddr
+(** Virtual address of the [i]-th page. *)
+
+val page_index : t -> Addr.vaddr -> int
+(** Inverse of [page_base] (page containing the address). Raises
+    [Invalid_argument] when outside the stretch. *)
+
+val set_rights_pdom :
+  t -> caller:Pdom.t -> target:Pdom.t -> Rights.t ->
+  (Time.span, Translation.error) result
+(** Change [target]'s rights for this stretch — one protection-domain
+    update, independent of stretch size. Requires [caller] to hold
+    meta. Idempotent changes are detected and are almost free. *)
+
+val set_rights_pt :
+  t -> caller:Pdom.t -> Translation.t -> Rights.t ->
+  (Time.span, Translation.error) result
+(** Change the stretch's global rights by rewriting every PTE in the
+    stretch (cost grows with the stretch size). *)
+
+val pp : Format.formatter -> t -> unit

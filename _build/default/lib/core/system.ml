@@ -1,0 +1,265 @@
+open Engine
+open Hw
+open Disk
+open Sched
+
+type config = {
+  seed : int;
+  main_memory_mb : int;
+  page_table : [ `Linear | `Guarded ];
+  cost : Cost.t;
+  disk_params : Disk_params.t;
+  usd_rollover : bool;
+  usd_laxity : bool;
+  revocation_deadline : Time.span;
+  va_bits : int;
+}
+
+let default_config =
+  { seed = 42;
+    main_memory_mb = 64;
+    page_table = `Linear;
+    cost = Cost.nemesis;
+    disk_params = Disk_params.vp3221;
+    usd_rollover = true;
+    usd_laxity = true;
+    revocation_deadline = Time.ms 100;
+    va_bits = 32 }
+
+type domain = {
+  dom : Domains.t;
+  mm : Mm_entry.t;
+  frames_client : Frames.client;
+  env : Stretch_driver.env;
+  sys : t;
+}
+
+and t = {
+  cfg : config;
+  simulator : Sim.t;
+  the_mmu : Mmu.t;
+  ramtab : Ramtab.t;
+  the_translation : Translation.t;
+  the_cpu : Cpu.t;
+  salloc : Stretch_allocator.t;
+  the_frames : Frames.t;
+  dm : Disk_model.t;
+  the_usd : Usbs.Usd.t;
+  the_sfs : Usbs.Sfs.t;
+  the_store : Usbs.File_store.t;
+  fs_start : int;
+  fs_len : int;
+  mutable members : domain list;
+  mutable next_id : int;
+  names : Namespace.t;
+}
+
+type Namespace.entry +=
+  | Driver_factory of (domain -> Stretch.t -> (Stretch_driver.t, string) result)
+
+(* Stretchable virtual addresses start above a reserved system region. *)
+let va_base = 0x1000_0000
+
+let create ?(config = default_config) () =
+  let simulator = Sim.create ~seed:config.seed () in
+  let pt_impl =
+    match config.page_table with
+    | `Linear -> Linear_pt.impl (Linear_pt.create ~va_bits:config.va_bits ())
+    | `Guarded -> Guarded_pt.impl (Guarded_pt.create ~va_bits:config.va_bits ())
+  in
+  let the_mmu = Mmu.create ~pt:pt_impl ~cost:config.cost () in
+  let nframes = config.main_memory_mb * 1024 * 1024 / Addr.page_size in
+  let ramtab = Ramtab.create ~nframes in
+  let the_translation = Translation.create the_mmu ramtab in
+  let va_bytes = (1 lsl config.va_bits) - va_base - Addr.page_size in
+  let va_bytes = va_bytes / Addr.page_size * Addr.page_size in
+  let salloc =
+    Stretch_allocator.create the_translation ~va_base ~va_bytes
+  in
+  let the_frames =
+    Frames.create ~revocation_deadline:config.revocation_deadline simulator
+      ramtab ~nframes
+  in
+  let dm = Disk_model.create ~params:config.disk_params () in
+  let the_usd =
+    Usbs.Usd.create ~rollover:config.usd_rollover
+      ~laxity_enabled:config.usd_laxity simulator dm
+  in
+  (* Partitions: swap in the first half of the disk, a raw region for
+     streaming file-system clients in the third quarter, and the file
+     store (named extent files, mapped stretches) in the last. *)
+  let nblocks = config.disk_params.Disk_params.nblocks in
+  let half = nblocks / 2 in
+  let three_quarters = nblocks * 3 / 4 in
+  let the_sfs = Usbs.Sfs.create ~first_block:0 ~nblocks:half the_usd in
+  let the_store =
+    Usbs.File_store.create ~first_block:three_quarters
+      ~nblocks:(nblocks - three_quarters) the_usd
+  in
+  let t =
+    { cfg = config; simulator; the_mmu; ramtab; the_translation;
+      the_cpu = Cpu.create simulator; salloc; the_frames; dm; the_usd;
+      the_sfs; the_store; fs_start = half; fs_len = three_quarters - half;
+      members = []; next_id = 1; names = Namespace.create () }
+  in
+  Frames.set_kill_handler t.the_frames (fun domain_id ->
+      List.iter
+        (fun d -> if Domains.id d.dom = domain_id then Domains.kill d.dom)
+        t.members);
+  t
+
+let sim t = t.simulator
+let config t = t.cfg
+let namespace t = t.names
+let cpu t = t.the_cpu
+let mmu t = t.the_mmu
+let translation t = t.the_translation
+let stretch_allocator t = t.salloc
+let frames t = t.the_frames
+let disk t = t.dm
+let usd t = t.the_usd
+let sfs t = t.the_sfs
+let file_store t = t.the_store
+let domains t = t.members
+let fs_partition t = (t.fs_start, t.fs_len)
+
+let run ?until t = Sim.run ?until t.simulator
+
+let add_domain t ~name ?(cpu_period = Time.ms 10) ?(cpu_slice = Time.us 500)
+    ~guarantee ~optimistic () =
+  match
+    Cpu.admit t.the_cpu ~name ~period:cpu_period ~slice:cpu_slice ()
+  with
+  | Error e -> Error ("cpu: " ^ e)
+  | Ok cpu_client ->
+    (match Frames.admit t.the_frames ~domain:t.next_id ~guarantee ~optimistic with
+    | Error e ->
+      Cpu.remove t.the_cpu cpu_client;
+      Error ("frames: " ^ e)
+    | Ok frames_client ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      let pd = Pdom.create ~asn:id in
+      let dom =
+        Domains.create ~sim:t.simulator ~id ~name ~cpu:t.the_cpu ~cpu_client
+          ~pdom:pd ~mmu:t.the_mmu ~cost:t.cfg.cost ()
+      in
+      let mm = Mm_entry.create dom in
+      Mm_entry.wire_revocation mm t.the_frames frames_client;
+      let env =
+        { Stretch_driver.domain_id = id;
+          domain_name = name;
+          pdom = pd;
+          translation = t.the_translation;
+          frames = t.the_frames;
+          frames_client;
+          consume_cpu = Domains.consume_cpu dom;
+          assert_idc_allowed = Domains.assert_idc_allowed dom;
+          cost = t.cfg.cost }
+      in
+      let d = { dom; mm; frames_client; env; sys = t } in
+      Domains.on_kill dom (fun () ->
+          Frames.retire t.the_frames frames_client;
+          Cpu.remove t.the_cpu cpu_client;
+          t.members <- List.filter (fun d' -> d' != d) t.members);
+      t.members <- t.members @ [ d ];
+      Ok d)
+
+let kill_domain _t d = Domains.kill d.dom
+
+let alloc_stretch d ?base ?global ~bytes () =
+  Stretch_allocator.alloc d.sys.salloc ?base ?global
+    ~owner_pdom:(Domains.pdom d.dom) ~owner:(Domains.id d.dom) ~bytes ()
+
+let free_stretch d s =
+  Mm_entry.unbind d.mm s;
+  Stretch_allocator.destroy d.sys.salloc s
+
+let bind_nailed d s =
+  match Sd_nailed.create d.env with
+  | Error _ as e -> e
+  | Ok driver ->
+    Mm_entry.bind d.mm s driver;
+    Ok driver
+
+let bind_physical d ?prealloc s =
+  match Sd_physical.create ?prealloc d.env with
+  | Error _ as e -> e
+  | Ok driver ->
+    Mm_entry.bind d.mm s driver;
+    Ok driver
+
+let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
+  let dom_name = Domains.name d.dom in
+  match
+    Usbs.Usd.admit d.sys.the_usd
+      ~name:(dom_name ^ "." ^ Usbs.File_store.file_name file) ~qos ()
+  with
+  | Error _ as e -> e
+  | Ok client ->
+    let cow_backing =
+      match mode with
+      | Sd_mapped.Shared -> Ok None
+      | Sd_mapped.Private ->
+        (match
+           Usbs.File_store.create_file d.sys.the_store
+             ~name:(Printf.sprintf "%s.cow.%d" dom_name s.Stretch.sid)
+             ~bytes:s.Stretch.bytes
+         with
+        | Ok f -> Ok (Some f)
+        | Error e -> Error e)
+    in
+    (match cow_backing with
+    | Error e ->
+      Usbs.Usd.retire d.sys.the_usd client;
+      Error e
+    | Ok cow_backing ->
+      (match
+         Sd_mapped.create ?initial_frames ~mode ~store:d.sys.the_store ~file
+           ~client ?cow_backing d.env
+       with
+      | Error e ->
+        Usbs.Usd.retire d.sys.the_usd client;
+        Error e
+      | Ok (driver, info) ->
+        Mm_entry.bind d.mm s driver;
+        Domains.on_kill d.dom (fun () ->
+            Usbs.Usd.retire d.sys.the_usd client);
+        Ok (driver, info)))
+
+let bind_paged d ?forgetful ?initial_frames ?readahead ~swap_bytes ~qos s () =
+  match
+    Usbs.Sfs.open_swap d.sys.the_sfs
+      ~name:(Domains.name d.dom ^ ".swap") ~bytes:swap_bytes ~qos
+  with
+  | Error _ as e -> e
+  | Ok swap ->
+    (match Sd_paged.create ?forgetful ?initial_frames ?readahead ~swap d.env with
+    | Error e ->
+      Usbs.Sfs.close_swap d.sys.the_sfs swap;
+      Error e
+    | Ok (driver, info) ->
+      Mm_entry.bind d.mm s driver;
+      Domains.on_kill d.dom (fun () ->
+          Usbs.Sfs.close_swap d.sys.the_sfs swap);
+      Ok (driver, info))
+
+(* Publish the standard stretch-driver creators in the system
+   name-space so applications can pick implementations by name (the
+   paper's "plug and play extensibility"). Parameterised drivers
+   (paged, mapped) are published by applications with their QoS baked
+   in; the two parameterless ones are system defaults. *)
+let publish_standard_drivers t =
+  List.iter
+    (fun (path, factory) ->
+      match Namespace.bind t.names ~path (Driver_factory factory) with
+      | Ok () -> ()
+      | Error e -> failwith ("publish_standard_drivers: " ^ e))
+    [ ("drivers/nailed", fun d s -> bind_nailed d s);
+      ("drivers/physical", fun d s -> bind_physical d s) ]
+
+let bind_by_name d ~path s =
+  match Namespace.lookup d.sys.names ~path with
+  | Some (Driver_factory f) -> f d s
+  | Some _ -> Error (Printf.sprintf "%S is not a stretch-driver factory" path)
+  | None -> Error (Printf.sprintf "no driver published at %S" path)

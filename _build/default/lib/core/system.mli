@@ -1,0 +1,120 @@
+(** System assembly: boots a simulated Nemesis machine.
+
+    Wires together the simulated hardware (MMU, RamTab, disk), the
+    system-domain services (stretch allocator, frames allocator,
+    high-level translation), the user-safe backing store (USD + SFS)
+    and the CPU scheduler, and provides domain creation with the full
+    set of per-domain machinery (protection domain, frame stack,
+    MMEntry, fault channel, revocation wiring).
+
+    The disk is split into two partitions, as in the paper's
+    experiments: a swap partition managed by the SFS and a file-system
+    partition that Figure 9's file-system client reads directly through
+    the USD. *)
+
+open Engine
+open Hw
+open Disk
+open Sched
+
+type config = {
+  seed : int;
+  main_memory_mb : int;
+  page_table : [ `Linear | `Guarded ];
+  cost : Cost.t;
+  disk_params : Disk_params.t;
+  usd_rollover : bool;
+  usd_laxity : bool;
+  revocation_deadline : Time.span;
+  va_bits : int;
+}
+
+val default_config : config
+(** 64 MB of main memory, linear page table, the paper's cost model and
+    disk, roll-over and laxity enabled, T = 100 ms. *)
+
+type t
+
+type domain = private {
+  dom : Domains.t;
+  mm : Mm_entry.t;
+  frames_client : Frames.client;
+  env : Stretch_driver.env;
+  sys : t;
+}
+
+type Namespace.entry +=
+  | Driver_factory of (domain -> Stretch.t -> (Stretch_driver.t, string) result)
+        (** A published stretch-driver creator: applications look these
+            up in the system name-space and bind by name. *)
+
+val create : ?config:config -> unit -> t
+
+(** {2 Accessors} *)
+
+val sim : t -> Sim.t
+val config : t -> config
+val cpu : t -> Cpu.t
+val mmu : t -> Mmu.t
+val translation : t -> Translation.t
+val stretch_allocator : t -> Stretch_allocator.t
+val frames : t -> Frames.t
+val disk : t -> Disk_model.t
+val usd : t -> Usbs.Usd.t
+val sfs : t -> Usbs.Sfs.t
+val file_store : t -> Usbs.File_store.t
+val domains : t -> domain list
+
+val fs_partition : t -> int * int
+(** [(first_lba, nblocks)] of the file-system partition. *)
+
+val namespace : t -> Namespace.t
+(** The system name-space (Plan-9-style contexts). *)
+
+val publish_standard_drivers : t -> unit
+(** Bind the parameterless driver factories at ["drivers/nailed"] and
+    ["drivers/physical"]. *)
+
+val bind_by_name :
+  domain -> path:string -> Stretch.t -> (Stretch_driver.t, string) result
+(** Look up a {!Driver_factory} in the name-space and bind with it. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Run the simulation (see {!Sim.run}). *)
+
+(** {2 Domains} *)
+
+val add_domain :
+  t -> name:string -> ?cpu_period:Time.span -> ?cpu_slice:Time.span ->
+  guarantee:int -> optimistic:int -> unit -> (domain, string) result
+(** Admission control may refuse (CPU utilisation or Σg overflow). *)
+
+val kill_domain : t -> domain -> unit
+
+(** {2 Stretch conveniences} *)
+
+val alloc_stretch :
+  domain -> ?base:Addr.vaddr -> ?global:Rights.t -> bytes:int -> unit ->
+  (Stretch.t, string) result
+
+val free_stretch : domain -> Stretch.t -> unit
+
+val bind_nailed : domain -> Stretch.t -> (Stretch_driver.t, string) result
+
+val bind_physical :
+  domain -> ?prealloc:int -> Stretch.t -> (Stretch_driver.t, string) result
+
+val bind_paged :
+  domain -> ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
+  swap_bytes:int -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
+  (Stretch_driver.t * (unit -> Sd_paged.info), string) result
+(** Opens a swap file on the SFS (negotiating the disk QoS), creates a
+    paged driver and binds it. *)
+
+val bind_mapped :
+  domain -> mode:Sd_mapped.mode -> ?initial_frames:int ->
+  file:Usbs.File_store.file -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
+  (Stretch_driver.t * (unit -> Sd_mapped.info), string) result
+(** Map a file-store file behind the stretch: admits a USD client under
+    the domain's own guarantee for the data path; a [Private] mapping
+    also allocates an anonymous copy-on-write backing file. *)

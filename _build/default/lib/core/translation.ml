@@ -1,0 +1,109 @@
+open Hw
+
+type t = { mmu : Mmu.t; ramtab : Ramtab.t }
+
+type error = No_meta | Not_stretch | Frame_unusable | Not_mapped
+
+let pp_error ppf = function
+  | No_meta -> Format.pp_print_string ppf "no meta right"
+  | Not_stretch -> Format.pp_print_string ppf "address not in any stretch"
+  | Frame_unusable -> Format.pp_print_string ppf "frame not usable by caller"
+  | Not_mapped -> Format.pp_print_string ppf "address not mapped"
+
+let create mmu ramtab = { mmu; ramtab }
+
+let mmu t = t.mmu
+let ramtab t = t.ramtab
+
+let add_null_range t ~sid ~global ~base ~npages =
+  let vpn0 = Addr.vpn_of_vaddr base in
+  for i = 0 to npages - 1 do
+    Mmu.set_pte t.mmu ~vpn:(vpn0 + i) (Pte.make ~sid ~global)
+  done
+
+let remove_range t ~base ~npages =
+  let vpn0 = Addr.vpn_of_vaddr base in
+  for i = 0 to npages - 1 do
+    let vpn = vpn0 + i in
+    let pte = Mmu.lookup t.mmu ~vpn in
+    if (not (Pte.is_absent pte)) && Pte.valid pte then
+      Ramtab.set_state t.ramtab ~pfn:(Pte.pfn pte) Ramtab.Unused;
+    Mmu.set_pte t.mmu ~vpn Pte.absent
+  done
+
+(* Light-weight validation: the caller's protection domain must hold
+   the meta right for the stretch containing the page. *)
+let check_meta ~pdom pte =
+  if Pte.is_absent pte then Error Not_stretch
+  else if Pdom.holds_meta pdom ~sid:(Pte.sid pte) ~global:(Pte.global pte)
+  then Ok ()
+  else Error No_meta
+
+let cost t = Mmu.cost t.mmu
+
+let map t ~pdom ~domain ~va ~pfn =
+  let vpn = Addr.vpn_of_vaddr va in
+  let pte = Mmu.lookup t.mmu ~vpn in
+  match check_meta ~pdom pte with
+  | Error e -> Error e
+  | Ok () ->
+    if not (Ramtab.is_available_for_mapping t.ramtab ~pfn ~domain) then
+      Error Frame_unusable
+    else begin
+      Mmu.set_pte t.mmu ~vpn (Pte.set_valid pte ~pfn);
+      Ramtab.set_state t.ramtab ~pfn Ramtab.Mapped;
+      let c = cost t in
+      Ok (c.Cost.syscall + c.Cost.reg_op + Mmu.lookup_cost t.mmu ~vpn)
+    end
+
+let unmap t ~pdom ~domain ~va =
+  let vpn = Addr.vpn_of_vaddr va in
+  let pte = Mmu.lookup t.mmu ~vpn in
+  match check_meta ~pdom pte with
+  | Error e -> Error e
+  | Ok () ->
+    if not (Pte.valid pte) then Error Not_mapped
+    else begin
+      (* Holding meta for the stretch suffices to unmap — the frame may
+         legitimately be owned by the caller or being given up under
+         revocation. *)
+      ignore domain;
+      let pfn = Pte.pfn pte in
+      Mmu.set_pte t.mmu ~vpn (Pte.set_invalid pte);
+      Ramtab.set_state t.ramtab ~pfn Ramtab.Unused;
+      let c = cost t in
+      Ok (pte, c.Cost.syscall + c.Cost.reg_op + Mmu.lookup_cost t.mmu ~vpn)
+    end
+
+let trans t ~va =
+  let vpn = Addr.vpn_of_vaddr va in
+  let pte = Mmu.lookup t.mmu ~vpn in
+  let c = cost t in
+  (pte, c.Cost.syscall + Mmu.lookup_cost t.mmu ~vpn)
+
+let protect_range t ~pdom ~base ~npages rights =
+  let vpn0 = Addr.vpn_of_vaddr base in
+  let first = Mmu.lookup t.mmu ~vpn:vpn0 in
+  match check_meta ~pdom first with
+  | Error e -> Error e
+  | Ok () ->
+    let c = cost t in
+    if Rights.equal (Pte.global first) rights then
+      (* Idempotent change: protection is stretch-granularity, so every
+         page of the range carries the same global rights as the first
+         — detect it there and return without touching the table (the
+         paper measures this short-circuit at ~0.15 us). *)
+      Ok (c.Cost.syscall + Mmu.lookup_cost t.mmu ~vpn:vpn0)
+    else begin
+      let total = ref c.Cost.syscall in
+      for i = 0 to npages - 1 do
+        let vpn = vpn0 + i in
+        let pte = Mmu.lookup t.mmu ~vpn in
+        total := !total + Mmu.lookup_cost t.mmu ~vpn;
+        if not (Pte.is_absent pte) then begin
+          Mmu.set_pte t.mmu ~vpn (Pte.with_global pte rights);
+          total := !total + c.Cost.reg_op
+        end
+      done;
+      Ok !total
+    end

@@ -1,0 +1,75 @@
+(** The translation system.
+
+    Two halves, as in the paper:
+
+    - The {b high-level} part is private to the system domain: it
+      bootstraps the MMU, builds page tables for the stretch allocator
+      (installing "NULL mappings" — invalid entries carrying the
+      stretch id and global protection so that a first touch faults and
+      the fault can be classified), and tears ranges down again.
+
+    - The {b low-level} part is the validated [map]/[unmap]/[trans]
+      pseudo-syscall interface that applications use directly to manage
+      their own mappings: the caller must execute in a protection
+      domain holding the [meta] right for the stretch containing the
+      address, and a frame being mapped must be owned by the calling
+      domain and not currently mapped or nailed (checked via the
+      RamTab).
+
+    All operations return the simulated time they consumed so the
+    caller can charge it to the right CPU account. *)
+
+open Engine
+open Hw
+
+type t
+
+type error =
+  | No_meta          (** caller lacks the meta right *)
+  | Not_stretch      (** address is not part of any stretch *)
+  | Frame_unusable   (** frame not owned by caller, or mapped/nailed *)
+  | Not_mapped       (** unmap of an unmapped address *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : Mmu.t -> Ramtab.t -> t
+
+val mmu : t -> Mmu.t
+val ramtab : t -> Ramtab.t
+
+(** {2 High-level interface (system domain)} *)
+
+val add_null_range :
+  t -> sid:int -> global:Rights.t -> base:Addr.vaddr -> npages:int -> unit
+(** Install NULL mappings for a freshly allocated stretch. *)
+
+val remove_range : t -> base:Addr.vaddr -> npages:int -> unit
+(** Delete all entries for a destroyed stretch. Frames still mapped are
+    released to [Unused] in the RamTab. *)
+
+(** {2 Low-level interface (validated syscalls)} *)
+
+val map :
+  t -> pdom:Pdom.t -> domain:int -> va:Addr.vaddr -> pfn:int ->
+  (Time.span, error) result
+(** Arrange that [va] maps to frame [pfn]. The new mapping has FOR/FOW
+    armed so referenced/dirty tracking starts fresh. *)
+
+val unmap :
+  t -> pdom:Pdom.t -> domain:int -> va:Addr.vaddr ->
+  (Pte.t * Time.span, error) result
+(** Remove the mapping of [va]; further access faults. Returns the
+    {e previous} PTE so the caller can inspect dirty/referenced bits
+    (a paging stretch driver needs them to decide whether to clean). *)
+
+val trans : t -> va:Addr.vaddr -> Pte.t * Time.span
+(** Retrieve the current mapping, if any ({!Pte.absent} otherwise). *)
+
+val protect_range :
+  t -> pdom:Pdom.t -> base:Addr.vaddr -> npages:int -> Rights.t ->
+  (Time.span, error) result
+(** Page-table-based protection change: rewrite the global rights of
+    every entry in the range (cost is per page — this is the slow
+    variant Table 1 measures as [(un)prot100]). The caller needs meta
+    on the first page's stretch; idempotent changes are detected and
+    cost almost nothing. *)

@@ -1,0 +1,1 @@
+lib/disk/disk_model.ml: Array Disk_params Engine Format Printf Time

@@ -1,0 +1,1 @@
+lib/disk/disk_model.mli: Disk_params Engine Format Time

@@ -1,0 +1,1 @@
+lib/engine/proc.ml: Effect Fun List Sim Time

@@ -1,0 +1,1 @@
+lib/engine/sync.ml: List Proc Queue Sim

@@ -1,0 +1,135 @@
+exception Killed
+
+type state = Running | Dead
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  mutable state : state;
+  mutable kill_requested : bool;
+  (* Wakes the process with [Killed] if it is currently suspended. *)
+  mutable interrupt : (unit -> unit) option;
+  mutable terminate_hooks : (unit -> unit) list;
+}
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let current : t option ref = ref None
+
+let self () =
+  match !current with
+  | Some p -> p
+  | None -> failwith "Proc.self: not inside a process"
+
+let sim p = p.sim
+let name p = p.name
+
+let current_sim () = sim (self ())
+
+let is_alive p = p.state <> Dead
+
+let finish p =
+  if p.state <> Dead then begin
+    p.state <- Dead;
+    p.interrupt <- None;
+    let hooks = List.rev p.terminate_hooks in
+    p.terminate_hooks <- [];
+    List.iter (fun f -> f ()) hooks
+  end
+
+let on_terminate p f =
+  if p.state = Dead then f () else p.terminate_hooks <- f :: p.terminate_hooks
+
+(* Run [f] with [p] installed as the current process, restoring the
+   previous one afterwards (processes can wake each other, so resumes
+   nest). *)
+let with_current p f =
+  let saved = !current in
+  current := Some p;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let handler p : (unit, unit) Effect.Deep.handler =
+  { retc = (fun () -> finish p);
+    exnc =
+      (fun e ->
+        finish p;
+        match e with Killed -> () | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              if p.kill_requested then Effect.Deep.discontinue k Killed
+              else begin
+                let fired = ref false in
+                let resume_with run =
+                  if not !fired && p.state <> Dead then begin
+                    fired := true;
+                    p.interrupt <- None;
+                    ignore
+                      (Sim.after p.sim 0 (fun () ->
+                           with_current p (fun () -> run ())))
+                  end
+                in
+                let die () =
+                  resume_with (fun () -> Effect.Deep.discontinue k Killed)
+                in
+                p.interrupt <- Some die;
+                let wake v =
+                  if p.kill_requested then die ()
+                  else resume_with (fun () -> Effect.Deep.continue k v)
+                in
+                register wake
+              end)
+        | _ -> None) }
+
+let spawn ?(name = "proc") simulator body =
+  let p =
+    { sim = simulator; name; state = Running; kill_requested = false;
+      interrupt = None; terminate_hooks = [] }
+  in
+  ignore
+    (Sim.after simulator 0 (fun () ->
+         if p.kill_requested then finish p
+         else with_current p (fun () -> Effect.Deep.match_with body () (handler p))));
+  p
+
+let suspend register = Effect.perform (Suspend register)
+
+(* If the process is killed mid-sleep, [Killed] is raised at the
+   suspension point; cancel the pending timer so it does not keep the
+   simulation clock advancing. *)
+let sleep_at schedule =
+  let h = ref None in
+  try suspend (fun wake -> h := Some (schedule (fun () -> wake ())))
+  with Killed as e ->
+    (match !h with Some h -> Sim.cancel h | None -> ());
+    raise e
+
+let sleep d =
+  if d < 0 then invalid_arg "Proc.sleep: negative duration";
+  let s = current_sim () in
+  sleep_at (fun fire -> Sim.after s d fire)
+
+let sleep_until t =
+  let s = current_sim () in
+  let t = Time.max t (Sim.now s) in
+  sleep_at (fun fire -> Sim.at s t fire)
+
+let yield () = sleep 0
+
+let kill p =
+  if p.state <> Dead then begin
+    p.kill_requested <- true;
+    match p.interrupt with
+    | Some intr -> intr ()
+    | None ->
+      (* Running right now, or not yet started: the flag is observed at
+         the next suspension point (or at the start event). *)
+      ()
+  end
+
+let join p =
+  if p.state = Dead then ()
+  else suspend (fun wake -> on_terminate p (fun () -> wake ()))

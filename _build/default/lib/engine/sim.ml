@@ -1,0 +1,78 @@
+type handle = { mutable cancelled : bool; fn : unit -> unit; live : int ref }
+
+type t = {
+  mutable clock : Time.t;
+  queue : handle Heap.t;
+  mutable seq : int;
+  live : int ref; (* scheduled and not cancelled *)
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero; queue = Heap.create (); seq = 0; live = ref 0;
+    root_rng = Rng.create ~seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Format.asprintf "Sim.at: %a is in the past (now %a)" Time.pp time
+         Time.pp t.clock);
+  let h = { cancelled = false; fn; live = t.live } in
+  Heap.push t.queue ~key:time ~sub:t.seq h;
+  t.seq <- t.seq + 1;
+  incr t.live;
+  h
+
+let after t d fn = at t (Time.add t.clock d) fn
+
+(* [live] is decremented exactly once per handle: either at [cancel]
+   time, or when a non-cancelled handle is popped and executed. *)
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    decr h.live
+  end
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, h) ->
+    if h.cancelled then step t
+    else begin
+      decr t.live;
+      t.clock <- time;
+      h.fn ();
+      true
+    end
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _, h) ->
+      let past_limit =
+        match until with Some limit -> time > limit | None -> false
+      in
+      if past_limit then begin
+        (match until with Some limit -> t.clock <- limit | None -> ());
+        continue := false
+      end
+      else begin
+        ignore (Heap.pop t.queue);
+        if not h.cancelled then begin
+          decr t.live;
+          t.clock <- time;
+          h.fn ()
+        end
+      end
+  done;
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let pending t = !(t.live)

@@ -1,0 +1,46 @@
+(** Online statistics and simple fixed-bucket histograms. *)
+
+type t
+(** A running summary: count, mean, variance (Welford), min, max, and —
+    when created with [~keep_samples:true] — exact percentiles. *)
+
+val create : ?keep_samples:bool -> unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Sample variance; 0.0 with fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [nan] when empty. *)
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,100]; requires [keep_samples];
+    [nan] when empty. Linear interpolation between order statistics. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Series : sig
+  (** Time-stamped scalar series, e.g. the bandwidth-vs-time plots of
+      Figures 7–9. *)
+
+  type nonrec t
+
+  val create : unit -> t
+  val add : t -> Time.t -> float -> unit
+  val length : t -> int
+  val to_list : t -> (Time.t * float) list
+  val values : t -> float list
+
+  val mean_after : t -> Time.t -> float
+  (** Mean of the values sampled at or after the given instant — used
+      to report sustained (post-warm-up) bandwidth. [nan] if none. *)
+end

@@ -1,0 +1,80 @@
+(** Synchronisation primitives for {!Proc} processes.
+
+    All blocking operations must be called from inside a process. The
+    wake-up side ([fill], [send], [signal], ...) may be called from
+    anywhere, including plain simulator callbacks. *)
+
+module Ivar : sig
+  (** Write-once cell. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val try_fill : 'a t -> 'a -> bool
+
+  val read : 'a t -> 'a
+  (** Block until filled, then return the value. *)
+
+  val read_timeout : 'a t -> Time.span -> 'a option
+  (** Block until filled or until the timeout elapses ([None]). *)
+
+  val peek : 'a t -> 'a option
+  val is_filled : 'a t -> bool
+end
+
+module Mailbox : sig
+  (** Unbounded FIFO queue with blocking receive. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+
+  val recv : 'a t -> 'a
+  (** Block until a message is available. Messages are delivered in
+      FIFO order; competing receivers are served in arrival order. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  (** Initial count must be >= 0. *)
+
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val count : t -> int
+end
+
+module Waitq : sig
+  (** Condition-variable-like wait queue (no associated lock — the
+      simulator is cooperatively scheduled so there is no data race to
+      guard against; re-check your predicate after waking). *)
+
+  type t
+
+  val create : unit -> t
+  val wait : t -> unit
+
+  val wait_timeout : t -> Time.span -> bool
+  (** [wait_timeout q d] waits for a signal for at most [d]; [true]
+      means signalled, [false] means timed out. A timed-out waiter
+      consumes the next [signal] harmlessly (it is woken and ignores
+      it), so prefer [broadcast] when mixing with timeouts. *)
+
+  val signal : t -> unit
+  (** Wake one waiter, if any. *)
+
+  val broadcast : t -> unit
+  (** Wake all current waiters. *)
+
+  val waiters : t -> int
+end

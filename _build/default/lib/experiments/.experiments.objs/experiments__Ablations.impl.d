@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Core Domains Engine Frames Fs_client Harness Hw List Paging_app Paging_fig Printf Report Sim Stretch System Table1 Time Trace Usbs Workload

@@ -1,0 +1,1 @@
+lib/experiments/crosstalk.ml: Addr Baseline Core Domains Engine Harness Hw Proc Report Sim Stats Stretch System Time Usbs

@@ -1,0 +1,1 @@
+lib/experiments/crosstalk.mli: Engine Time

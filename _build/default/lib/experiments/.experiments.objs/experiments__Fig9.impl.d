@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Core Engine Float Fs_client Harness List Paging_app Printf Report Sampler Stats System Time Usbs Workload

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Core Engine List Proc Sim System Time

@@ -1,0 +1,1 @@
+lib/experiments/net_iso.ml: Core Domains Engine Fault Harness Hw List Mm_entry Pdom Printf Proc Report Sd_paged Sim Stats Stretch Stretch_driver Sync System Time Usbs Usnet

@@ -1,0 +1,1 @@
+lib/experiments/net_iso.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/experiments/paging_fig.ml: Bytes Core Engine Harness List Paging_app Printf Report Sampler Sd_paged Stats System Time Trace Usbs Workload

@@ -1,0 +1,1 @@
+lib/experiments/paging_fig.mli: Engine Time Usbs Workload

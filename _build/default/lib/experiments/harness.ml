@@ -1,0 +1,38 @@
+open Engine
+open Core
+
+let run_in_sim sys f =
+  let result = ref None in
+  ignore
+    (Proc.spawn ~name:"experiment" (System.sim sys) (fun () ->
+         result := Some (f ())));
+  let fuel = ref 200_000_000 in
+  while !result = None && !fuel > 0 do
+    if Sim.step (System.sim sys) then decr fuel else fuel := 0
+  done;
+  match !result with
+  | Some r -> r
+  | None -> failwith "run_in_sim: experiment did not complete"
+
+let fresh_system ?(page_table = `Linear) ?(usd_rollover = true)
+    ?(usd_laxity = true) ?(main_memory_mb = 64) ?(seed = 42) () =
+  let config =
+    { System.default_config with
+      page_table; usd_rollover; usd_laxity; main_memory_mb; seed }
+  in
+  System.create ~config ()
+
+let bench_domain sys ?(guarantee = 256) ?(optimistic = 0) ~name () =
+  match
+    System.add_domain sys ~name ~cpu_period:(Time.ms 10)
+      ~cpu_slice:(Time.ms 9) ~guarantee ~optimistic ()
+  with
+  | Ok d -> d
+  | Error e -> failwith ("bench_domain: " ^ e)
+
+let mean_span spans =
+  match spans with
+  | [] -> nan
+  | _ ->
+    let total = List.fold_left ( + ) 0 spans in
+    float_of_int total /. float_of_int (List.length spans) /. 1e3

@@ -1,0 +1,22 @@
+(** Shared experiment plumbing. *)
+
+open Engine
+open Core
+
+val run_in_sim : System.t -> (unit -> 'a) -> 'a
+(** Spawn [f] as a process in the system's simulator and drive the
+    event loop until it returns. Fails if the simulation quiesces or
+    exceeds its event budget first. *)
+
+val fresh_system :
+  ?page_table:[ `Linear | `Guarded ] -> ?usd_rollover:bool ->
+  ?usd_laxity:bool -> ?main_memory_mb:int -> ?seed:int -> unit -> System.t
+
+val bench_domain :
+  System.t -> ?guarantee:int -> ?optimistic:int -> name:string -> unit ->
+  System.domain
+(** A domain with a generous CPU contract for micro-benchmarks; raises
+    on admission failure. *)
+
+val mean_span : Time.span list -> float
+(** Mean in microseconds. *)

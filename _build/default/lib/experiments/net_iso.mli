@@ -1,0 +1,39 @@
+(** Network-link experiments: "all resources are treated in the same
+    way" (paper §5), and the in-kernel device-driver crosstalk argument
+    quantified.
+
+    {b Shares}: three flat-out senders with 10/20/40% link guarantees
+    must achieve 1:2:4 throughput — the Figure-7 result transplanted to
+    the network interface, demonstrating that the same Atropos
+    machinery schedules every resource.
+
+    {b Kernel crosstalk}: the paper notes that an exokernel-style
+    system in which device drivers coexist in a shared execution
+    environment lets "an application which is paging heavily impact
+    others who are using orthogonal resources such as the network". We
+    measure it: a streaming client's packets are serviced by a shared
+    driver domain whose single event loop also resolves page faults
+    (each occupying it for a ~11 ms disk write); against the Nemesis
+    structure, where the streamer transmits through its own link
+    guarantee while the pager self-pages. *)
+
+open Engine
+
+type shares_result = {
+  senders : (string * float * float) list;
+      (** (name, Mbit/s, ratio vs smallest) *)
+}
+
+val run_shares : ?duration:Time.span -> unit -> shares_result
+val print_shares : shares_result -> unit
+
+type crosstalk_result = {
+  nemesis_mean_ms : float;
+  nemesis_p95_ms : float;
+  shared_mean_ms : float;
+  shared_p95_ms : float;
+  packets : int * int;  (** packets measured in each configuration *)
+}
+
+val run_kernel_crosstalk : ?duration:Time.span -> unit -> crosstalk_result
+val print_kernel_crosstalk : crosstalk_result -> unit

@@ -1,0 +1,22 @@
+(** Plain-text report helpers shared by the experiment printers. *)
+
+val rule : unit -> unit
+(** Print a horizontal rule. *)
+
+val heading : string -> unit
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table with a header row. *)
+
+val fopt : float option -> string
+(** "n/a" for [None], two decimals otherwise. *)
+
+val f2 : float -> string
+val f1 : float -> string
+
+val chart :
+  ?height:int -> ?width:int -> unit_label:string ->
+  (string * (float * float) list) list -> unit
+(** Multi-series ASCII chart: each series is (label, [(x, y); ...]).
+    Series are drawn with distinct marks ('*', 'o', '+', 'x', ...); the
+    y-axis is scaled to the data, the x-axis to the common range. *)

@@ -1,0 +1,38 @@
+(** Table 1: comparative micro-benchmarks (µs).
+
+    Six operations, following Appel & Li's virtual-memory-primitive
+    benchmarks as the paper adapts them:
+
+    - [dirty]: determine whether a random page is dirty (Nemesis: a
+      user-level linear-page-table lookup; OSF1: not possible).
+    - [(un)prot1]: change protection on one page — for Nemesis both
+      the page-table route and, in brackets, the protection-domain
+      route.
+    - [(un)prot100]: protect/unprotect a 100-page range (alternating,
+      so every call really changes permissions).
+    - [trap]: user-level page-fault handling round trip.
+    - [appel1] ("prot1+trap+unprot"): access a random protected page;
+      in the handler unprotect it and protect another.
+    - [appel2] ("protN+trap+unprot"): protect 100 pages, access each in
+      random order, unprotecting in the handler. Per the paper's
+      protection model this is done by unmapping/mapping on Nemesis.
+
+    Nemesis numbers are measured by actually running the operations on
+    the simulated system (costs accumulate from the implementation's
+    operation counts and the component cost model); OSF1 numbers come
+    from the {!Baseline.Unix_vm} structural model. The paper's measured
+    values are carried alongside for comparison. *)
+
+type row = {
+  bench : string;
+  osf1_us : float option;        (** our OSF1 model *)
+  osf1_paper_us : float option;  (** paper's measurement *)
+  nemesis_us : float;            (** our implementation, simulated *)
+  nemesis_pdom_us : float option;(** protection-domain variant (brackets) *)
+  nemesis_paper_us : float;
+  nemesis_paper_pdom_us : float option;
+}
+
+val run : ?page_table:[ `Linear | `Guarded ] -> unit -> row list
+
+val print : row list -> unit

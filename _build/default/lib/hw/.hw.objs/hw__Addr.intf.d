@@ -1,0 +1,1 @@
+lib/hw/addr.mli: Format

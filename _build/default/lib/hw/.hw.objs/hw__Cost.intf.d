@@ -1,0 +1,1 @@
+lib/hw/cost.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/hw/guarded_pt.ml: Addr Array Page_table Pte

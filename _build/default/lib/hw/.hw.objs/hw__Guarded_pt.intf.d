@@ -1,0 +1,1 @@
+lib/hw/guarded_pt.mli: Page_table Pte

@@ -1,0 +1,1 @@
+lib/hw/linear_pt.ml: Addr Array Page_table Printf Pte

@@ -1,0 +1,1 @@
+lib/hw/linear_pt.mli: Page_table Pte

@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Cost Engine Format Page_table Pte Rights Time Tlb

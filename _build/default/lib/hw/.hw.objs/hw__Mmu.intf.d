@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Addr Cost Engine Format Page_table Pte Rights Time Tlb

@@ -1,0 +1,1 @@
+lib/hw/pte.ml: Format Rights

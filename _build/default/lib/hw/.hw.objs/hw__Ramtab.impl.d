@@ -1,0 +1,1 @@
+lib/hw/ramtab.ml: Addr Array Format Printf

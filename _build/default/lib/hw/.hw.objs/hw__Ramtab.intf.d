@@ -1,0 +1,1 @@
+lib/hw/ramtab.mli: Format

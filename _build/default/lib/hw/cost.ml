@@ -1,0 +1,43 @@
+open Engine
+
+type t = {
+  mem_ref : Time.span;
+  tlb_fill : Time.span;
+  palcode_dfault : Time.span;
+  reg_op : Time.span;
+  pdom_update : Time.span;
+  event_send : Time.span;
+  context_save : Time.span;
+  activation : Time.span;
+  user_demux : Time.span;
+  notify_handler : Time.span;
+  driver_invoke : Time.span;
+  ults_schedule : Time.span;
+  idc_call : Time.span;
+  syscall : Time.span;
+  page_zero : Time.span;
+  page_copy : Time.span;
+}
+
+let nemesis =
+  { mem_ref = Time.ns 60;
+    tlb_fill = Time.ns 90;
+    palcode_dfault = Time.ns 150;
+    reg_op = Time.ns 45;
+    pdom_update = Time.ns 300;
+    event_send = Time.ns 50;
+    context_save = Time.ns 750;
+    activation = Time.ns 200;
+    user_demux = Time.ns 600;
+    notify_handler = Time.ns 700;
+    driver_invoke = Time.ns 900;
+    ults_schedule = Time.ns 1000;
+    idc_call = Time.us 30;
+    syscall = Time.ns 160;
+    page_zero = Time.us 8;
+    page_copy = Time.us 12 }
+
+let trap_path t = t.context_save + t.event_send + t.activation
+
+let user_fault_path t =
+  t.user_demux + t.notify_handler + t.driver_invoke + t.ults_schedule

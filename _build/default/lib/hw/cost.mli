@@ -1,0 +1,58 @@
+(** Simulated-time cost model.
+
+    The paper reports component costs for its EB164 testbed (266 MHz
+    Alpha 21164): event transmission < 50 ns, full context save
+    ≈ 750 ns, domain activation < 200 ns, with ≈ 3 µs spent in the
+    unoptimised user-level handler path. The model below carries those
+    and a handful of structural parameters (memory reference latency,
+    per-page page-table update, protection-domain update) from which
+    the Table 1 rows are recomputed — the shape comes from operation
+    counts, the scale from these constants. *)
+
+open Engine
+
+type t = {
+  mem_ref : Time.span;
+  (** Latency of one dependent memory reference during a table walk. *)
+  tlb_fill : Time.span;
+  (** Fixed overhead of a software TLB fill (PALcode dispatch). *)
+  palcode_dfault : Time.span;
+  (** PALcode DFault routine for FOR/FOW emulation of dirty/ref. *)
+  reg_op : Time.span;
+  (** Small fixed software overhead for a validated table update. *)
+  pdom_update : Time.span;
+  (** Changing a stretch's rights word in a protection domain. *)
+  event_send : Time.span;
+  (** Kernel event transmission (<50 ns). *)
+  context_save : Time.span;
+  (** Full context save on a fault (≈750 ns). *)
+  activation : Time.span;
+  (** Activating the faulting domain (<200 ns). *)
+  user_demux : Time.span;
+  (** User-level event demultiplexer, per activation. *)
+  notify_handler : Time.span;
+  (** Notification-handler entry/exit per event. *)
+  driver_invoke : Time.span;
+  (** Invoking a stretch driver (fast path). *)
+  ults_schedule : Time.span;
+  (** Entering the user-level thread scheduler. *)
+  idc_call : Time.span;
+  (** One inter-domain communication round trip (worker-thread path). *)
+  syscall : Time.span;
+  (** Light-weight system call entry/exit (map/unmap/trans). *)
+  page_zero : Time.span;
+  (** Zeroing a fresh 8 KB frame. *)
+  page_copy : Time.span;
+  (** Copying one 8 KB page memory-to-memory. *)
+}
+
+val nemesis : t
+(** Defaults calibrated from the paper's own component measurements. *)
+
+val trap_path : t -> Time.span
+(** Kernel part of a user-level fault round trip:
+    context save + event send + activation. *)
+
+val user_fault_path : t -> Time.span
+(** User-level part: demux + notification handler + driver invocation +
+    thread-scheduler entry. *)

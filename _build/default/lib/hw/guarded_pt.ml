@@ -1,0 +1,160 @@
+let k = 3
+let fanout = 1 lsl k
+
+type tree =
+  | Empty
+  | Leaf of { key : int; len : int; pte : Pte.t }
+  | Node of { guard : int; glen : int; slots : tree array }
+
+type t = { mutable root : tree; width : int; mutable entries : int }
+
+(* All keys at a given depth have the same remaining length [len],
+   which is always a multiple of [k]; guards also have lengths that
+   are multiples of [k], so the invariant is preserved down the trie. *)
+
+let create ?(va_bits = 32) () =
+  let vpn_bits = va_bits - Addr.page_shift in
+  let width = (vpn_bits + k - 1) / k * k in
+  { root = Empty; width; entries = 0 }
+
+let top_bits key len n = key lsr (len - n)
+let low_bits key n = key land ((1 lsl n) - 1)
+
+(* Length of the longest common prefix of two [len]-bit strings. *)
+let lcp a b len =
+  let x = a lxor b in
+  if x = 0 then len
+  else begin
+    let rec highest i = if x lsr i <> 0 then highest (i + 1) else i in
+    len - highest 0
+  end
+
+let quantize n = n / k * k
+
+let rec insert tree key len pte =
+  match tree with
+  | Empty -> Leaf { key; len; pte }
+  | Leaf l when l.key = key -> Leaf { l with pte }
+  | Leaf l ->
+    let p = lcp key l.key len in
+    let glen = quantize (min p (len - k)) in
+    let node =
+      Node
+        { guard = top_bits key len glen;
+          glen;
+          slots = Array.make fanout Empty }
+    in
+    let node = insert node l.key len l.pte in
+    insert node key len pte
+  | Node n ->
+    let g = top_bits key len n.glen in
+    if g <> n.guard then begin
+      (* Split: introduce a parent whose guard is the common prefix of
+         the two guards, and push the existing node one level down. *)
+      let p = lcp g n.guard n.glen in
+      let glen2 = quantize p in
+      (* g <> guard implies p < glen, so glen2 <= glen - k after
+         quantisation (glen is a multiple of k). *)
+      let parent_slots = Array.make fanout Empty in
+      let child_glen = n.glen - glen2 - k in
+      let old_idx = top_bits (low_bits n.guard (n.glen - glen2)) (n.glen - glen2) k in
+      parent_slots.(old_idx) <-
+        Node { guard = low_bits n.guard child_glen; glen = child_glen;
+               slots = n.slots };
+      let parent =
+        Node { guard = top_bits key len glen2; glen = glen2;
+               slots = parent_slots }
+      in
+      insert parent key len pte
+    end
+    else begin
+      let rest_len = len - n.glen in
+      let idx = top_bits (low_bits key rest_len) rest_len k in
+      let child_len = rest_len - k in
+      let child_key = low_bits key child_len in
+      n.slots.(idx) <- insert n.slots.(idx) child_key child_len pte;
+      tree
+    end
+
+(* After a removal a node may be left with zero children (drop it) or a
+   single Leaf child (path-compress: splice guard, slot index and leaf
+   key back together). Chains of Nodes are left alone — compressing
+   them would require re-walking subtrees for no lookup-cost gain
+   beyond one level per deletion. *)
+let collapse ~guard ~glen ~slots ~len ~original =
+  let nonempty = ref [] in
+  Array.iteri
+    (fun i s -> if s <> Empty then nonempty := (i, s) :: !nonempty)
+    slots;
+  match !nonempty with
+  | [] -> Empty
+  | [ (i, Leaf l) ] ->
+    let child_len = len - glen - k in
+    assert (l.len = child_len);
+    Leaf
+      { key = (guard lsl (k + child_len)) lor (i lsl child_len) lor l.key;
+        len;
+        pte = l.pte }
+  | _ -> original
+
+let rec remove tree key len =
+  match tree with
+  | Empty -> Empty
+  | Leaf l -> if l.key = key then Empty else tree
+  | Node n ->
+    let g = top_bits key len n.glen in
+    if g <> n.guard then tree
+    else begin
+      let rest_len = len - n.glen in
+      let idx = top_bits (low_bits key rest_len) rest_len k in
+      let child_len = rest_len - k in
+      n.slots.(idx) <- remove n.slots.(idx) (low_bits key child_len) child_len;
+      collapse ~guard:n.guard ~glen:n.glen ~slots:n.slots ~len ~original:tree
+    end
+
+let rec find tree key len refs =
+  match tree with
+  | Empty -> (Pte.absent, refs)
+  | Leaf l -> if l.key = key then (l.pte, refs + 1) else (Pte.absent, refs + 1)
+  | Node n ->
+    let g = top_bits key len n.glen in
+    if g <> n.guard then (Pte.absent, refs + 1)
+    else begin
+      let rest_len = len - n.glen in
+      let idx = top_bits (low_bits key rest_len) rest_len k in
+      let child_len = rest_len - k in
+      find n.slots.(idx) (low_bits key child_len) child_len (refs + 1)
+    end
+
+let lookup t vpn = fst (find t.root vpn t.width 0)
+
+let lookup_refs t vpn = max 1 (snd (find t.root vpn t.width 0))
+
+let set t vpn pte =
+  let had = not (Pte.is_absent (lookup t vpn)) in
+  if Pte.is_absent pte then begin
+    t.root <- remove t.root vpn t.width;
+    if had then t.entries <- t.entries - 1
+  end
+  else begin
+    t.root <- insert t.root vpn t.width pte;
+    if not had then t.entries <- t.entries + 1
+  end
+
+let depth_stats t =
+  let maxd = ref 0 in
+  let rec walk tree d =
+    match tree with
+    | Empty -> ()
+    | Leaf _ -> if d > !maxd then maxd := d
+    | Node n -> Array.iter (fun s -> walk s (d + 1)) n.slots
+  in
+  walk t.root 1;
+  (t.entries, !maxd)
+
+let impl t =
+  { Page_table.kind = "guarded";
+    lookup = lookup t;
+    set = set t;
+    lookup_refs = lookup_refs t;
+    entries = (fun () -> t.entries) }

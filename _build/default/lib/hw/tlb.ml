@@ -1,0 +1,63 @@
+type slot = { mutable asn : int; mutable vpn : int; mutable pte : Pte.t }
+
+type t = {
+  slots : slot array;
+  mutable next : int; (* FIFO replacement pointer *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let empty_vpn = -1
+
+let create ?(entries = 64) () =
+  { slots = Array.init entries (fun _ -> { asn = 0; vpn = empty_vpn; pte = Pte.absent });
+    next = 0; hits = 0; misses = 0 }
+
+let lookup t ~asn ~vpn =
+  let n = Array.length t.slots in
+  let rec scan i =
+    if i >= n then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else begin
+      let s = t.slots.(i) in
+      if s.vpn = vpn && s.asn = asn then begin
+        t.hits <- t.hits + 1;
+        Some s.pte
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let insert t ~asn ~vpn pte =
+  (* Overwrite an existing entry for the same page if present,
+     otherwise take the FIFO victim. *)
+  let n = Array.length t.slots in
+  let rec find i = if i >= n then None else
+      let s = t.slots.(i) in
+      if s.vpn = vpn && s.asn = asn then Some s else find (i + 1)
+  in
+  let s =
+    match find 0 with
+    | Some s -> s
+    | None ->
+      let s = t.slots.(t.next) in
+      t.next <- (t.next + 1) mod n;
+      s
+  in
+  s.asn <- asn;
+  s.vpn <- vpn;
+  s.pte <- pte
+
+let invalidate t ~vpn =
+  Array.iter
+    (fun s -> if s.vpn = vpn then begin s.vpn <- empty_vpn; s.pte <- Pte.absent end)
+    t.slots
+
+let invalidate_all t =
+  Array.iter (fun s -> s.vpn <- empty_vpn; s.pte <- Pte.absent) t.slots
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,1 @@
+lib/sched/cpu.ml: Edf Engine List Proc Queue Sim Sync Time

@@ -1,0 +1,1 @@
+lib/sched/cpu.mli: Edf Engine Sim Time

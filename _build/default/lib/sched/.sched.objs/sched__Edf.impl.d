@@ -1,0 +1,1 @@
+lib/sched/edf.ml: Engine Format List Printf Time

@@ -1,0 +1,114 @@
+open Engine
+
+type request = { mutable left : Time.span; wake : unit -> unit }
+
+type client = {
+  edf : Edf.client;
+  pending : request Queue.t;
+  mutable live : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  edf : Edf.t;
+  mutable members : client list;
+  kick : Sync.Waitq.t;
+  mutable running : bool;
+  (* Upper bound on one uninterrupted slack grant, so that budgeted
+     clients never wait long behind a slack hog. *)
+  slack_quantum : Time.span;
+}
+
+let create sim =
+  { sim; edf = Edf.create (); members = []; kick = Sync.Waitq.create ();
+    running = false; slack_quantum = Time.ms 1 }
+
+let name (c : client) = c.edf.Edf.cname
+let used (c : client) = c.edf.Edf.used_total
+let edf_client (c : client) = c.edf
+
+let has_pending (c : client) = not (Queue.is_empty c.pending)
+
+let find_member t e =
+  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+
+let rec scheduler_loop t =
+  let now = Sim.now t.sim in
+  ignore (Edf.replenish_all t.edf ~now);
+  let runnable e =
+    match find_member t e with Some c -> c.live && has_pending c | None -> false
+  in
+  match Edf.select t.edf ~only:runnable ~now with
+  | Some e -> run_chunk t e ~slack:false
+  | None ->
+    (match Edf.select_slack t.edf ~only:runnable ~now with
+    | Some e -> run_chunk t e ~slack:true
+    | None ->
+      (* Nothing runnable: wait for work, but never past the next
+         period boundary of a client that still has queued work (its
+         budget may return then). *)
+      let next_dl =
+        List.fold_left
+          (fun best c ->
+            if c.live && has_pending c then
+              match best with
+              | Some d when d <= c.edf.Edf.deadline -> best
+              | _ -> Some c.edf.Edf.deadline
+            else best)
+          None t.members
+      in
+      (match next_dl with
+      | Some d ->
+        let span = max 0 (Time.diff d now) in
+        ignore (Sync.Waitq.wait_timeout t.kick span)
+      | None -> Sync.Waitq.wait t.kick);
+      scheduler_loop t)
+
+and run_chunk t e ~slack =
+  match find_member t e with
+  | None -> scheduler_loop t
+  | Some c ->
+    let req = Queue.peek c.pending in
+    let budget_cap =
+      if slack then t.slack_quantum else max 0 e.Edf.remaining
+    in
+    let chunk = min req.left budget_cap in
+    let chunk = max chunk 1 in
+    Proc.sleep chunk;
+    if slack then Edf.charge_slack e chunk else Edf.charge e chunk;
+    req.left <- req.left - chunk;
+    if req.left <= 0 then begin
+      ignore (Queue.pop c.pending);
+      req.wake ()
+    end;
+    scheduler_loop t
+
+let ensure_running t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (Proc.spawn ~name:"cpu-sched" t.sim (fun () -> scheduler_loop t))
+  end
+
+let admit t ~name ~period ~slice ?(extra = true) () =
+  match Edf.admit t.edf ~name ~period ~slice ~extra ~now:(Sim.now t.sim) () with
+  | Error _ as e -> e
+  | Ok e ->
+    let c = { edf = e; pending = Queue.create (); live = true } in
+    t.members <- c :: t.members;
+    ensure_running t;
+    Ok c
+
+let remove t (c : client) =
+  c.live <- false;
+  Edf.remove t.edf c.edf;
+  t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  Sync.Waitq.broadcast t.kick
+
+let consume t (c : client) span =
+  if span < 0 then invalid_arg "Cpu.consume: negative span";
+  if span > 0 then begin
+    if not c.live then failwith "Cpu.consume: client removed";
+    Proc.suspend (fun wake ->
+        Queue.add { left = span; wake = (fun () -> wake ()) } c.pending;
+        Sync.Waitq.broadcast t.kick)
+  end

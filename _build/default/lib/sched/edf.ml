@@ -1,0 +1,112 @@
+open Engine
+
+type client = {
+  id : int;
+  cname : string;
+  mutable period : Time.span;
+  mutable slice : Time.span;
+  mutable extra : bool;
+  mutable deadline : Time.t;
+  mutable remaining : Time.span;
+  mutable used_total : Time.span;
+  mutable slack_total : Time.span;
+}
+
+type t = {
+  mutable members : client list;
+  mutable next_id : int;
+  rollover : bool;
+}
+
+let create ?(rollover = true) () =
+  { members = []; next_id = 0; rollover }
+
+let clients t = t.members
+
+let utilisation t =
+  List.fold_left
+    (fun acc c -> acc +. (float_of_int c.slice /. float_of_int c.period))
+    0.0 t.members
+
+let admit t ~name ~period ~slice ?(extra = false) ~now () =
+  if period <= 0 || slice <= 0 then Error "period and slice must be positive"
+  else if slice > period then Error "slice exceeds period"
+  else begin
+    let u = utilisation t +. (float_of_int slice /. float_of_int period) in
+    if u > 1.0 +. 1e-9 then
+      Error (Printf.sprintf "admission refused: utilisation %.3f > 1" u)
+    else begin
+      let c =
+        { id = t.next_id; cname = name; period; slice; extra;
+          deadline = Time.add now period; remaining = slice;
+          used_total = 0; slack_total = 0 }
+      in
+      t.next_id <- t.next_id + 1;
+      t.members <- t.members @ [ c ];
+      Ok c
+    end
+  end
+
+let remove t c = t.members <- List.filter (fun c' -> c'.id <> c.id) t.members
+
+let replenish t ~now c =
+  let grants = ref 0 in
+  while c.deadline <= now do
+    incr grants;
+    let carry = if t.rollover && c.remaining < 0 then c.remaining else 0 in
+    c.remaining <- c.slice + carry;
+    c.deadline <- Time.add c.deadline c.period
+  done;
+  (* A client that slept across several periods does not stack
+     allocations: each boundary above reset [remaining] to at most one
+     slice, and the deadline caught up one period at a time. *)
+  !grants
+
+let replenish_all t ~now =
+  List.filter_map
+    (fun c ->
+      let g = replenish t ~now c in
+      if g > 0 then Some (c, g) else None)
+    t.members
+
+let charge c span =
+  c.remaining <- c.remaining - span;
+  c.used_total <- c.used_total + span
+
+let charge_slack c span =
+  c.used_total <- c.used_total + span;
+  c.slack_total <- c.slack_total + span
+
+let has_budget c = c.remaining > 0
+
+let select ?(only = fun _ -> true) t ~now:_ =
+  List.fold_left
+    (fun best c ->
+      if has_budget c && only c then
+        match best with
+        | Some b when b.deadline <= c.deadline -> best
+        | _ -> Some c
+      else best)
+    None t.members
+
+let select_slack ?(only = fun _ -> true) t ~now:_ =
+  List.fold_left
+    (fun best c ->
+      if c.extra && only c then
+        match best with
+        | Some b when b.deadline <= c.deadline -> best
+        | _ -> Some c
+      else best)
+    None t.members
+
+let next_deadline t =
+  List.fold_left
+    (fun best c ->
+      match best with
+      | Some d when d <= c.deadline -> best
+      | _ -> Some c.deadline)
+    None t.members
+
+let pp_client ppf c =
+  Format.fprintf ppf "%s(p=%a,s=%a,dl=%a,rem=%a)" c.cname Time.pp_span
+    c.period Time.pp_span c.slice Time.pp c.deadline Time.pp_span c.remaining

@@ -1,0 +1,1 @@
+lib/usd/extents.ml: List

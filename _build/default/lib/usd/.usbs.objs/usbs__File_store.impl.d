@@ -1,0 +1,1 @@
+lib/usd/file_store.ml: Disk Disk_model Disk_params Engine Extents Hashtbl Printf Sync Usd

@@ -1,0 +1,1 @@
+lib/usd/file_store.mli: Engine Sync Usd

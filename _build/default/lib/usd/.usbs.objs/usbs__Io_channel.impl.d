@@ -1,0 +1,1 @@
+lib/usd/io_channel.ml: Engine Proc Queue

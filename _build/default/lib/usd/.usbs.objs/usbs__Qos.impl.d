@@ -1,0 +1,1 @@
+lib/usd/qos.ml: Engine Format Time

@@ -1,0 +1,1 @@
+lib/usd/qos.mli: Engine Format Time

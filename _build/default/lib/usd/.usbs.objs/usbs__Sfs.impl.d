@@ -1,0 +1,1 @@
+lib/usd/sfs.ml: Disk Disk_model Disk_params Engine Extents Printf Sync Usd

@@ -1,0 +1,1 @@
+lib/usd/sfs.mli: Engine Qos Sync Usd

@@ -1,0 +1,1 @@
+lib/usd/usd.ml: Disk Disk_model Disk_params Edf Engine Format Io_channel List Option Proc Qos Sched Sim Sync Time Trace

@@ -1,0 +1,1 @@
+lib/usd/usd.mli: Disk Disk_model Engine Format Qos Sim Sync Time Trace

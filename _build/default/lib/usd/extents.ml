@@ -1,0 +1,59 @@
+type extent = { start : int; len : int }
+
+type t = { mutable free_list : extent list (* sorted by start *) }
+
+let create ~first ~len =
+  if first < 0 || len <= 0 then invalid_arg "Extents.create: bad range";
+  { free_list = [ { start = first; len } ] }
+
+let free_blocks t = List.fold_left (fun acc e -> acc + e.len) 0 t.free_list
+
+let alloc t ~len =
+  if len <= 0 then invalid_arg "Extents.alloc: bad length";
+  let rec take acc = function
+    | [] -> None
+    | e :: rest when e.len >= len ->
+      let taken = { start = e.start; len } in
+      let remainder =
+        if e.len = len then rest
+        else { start = e.start + len; len = e.len - len } :: rest
+      in
+      t.free_list <- List.rev_append acc remainder;
+      Some taken
+    | e :: rest -> take (e :: acc) rest
+  in
+  take [] t.free_list
+
+let alloc_at t ~start ~len =
+  if len <= 0 then invalid_arg "Extents.alloc_at: bad length";
+  let rec take acc = function
+    | [] -> None
+    | e :: rest when start >= e.start && start + len <= e.start + e.len ->
+      let before =
+        if start > e.start then [ { start = e.start; len = start - e.start } ]
+        else []
+      in
+      let after =
+        let tail = start + len in
+        let tail_len = e.start + e.len - tail in
+        if tail_len > 0 then [ { start = tail; len = tail_len } ] else []
+      in
+      t.free_list <- List.rev_append acc (before @ after @ rest);
+      Some { start; len }
+    | e :: rest -> take (e :: acc) rest
+  in
+  take [] t.free_list
+
+let free t ext =
+  let rec insert = function
+    | [] -> [ ext ]
+    | e :: rest when ext.start < e.start -> ext :: e :: rest
+    | e :: rest -> e :: insert rest
+  in
+  let rec coalesce = function
+    | a :: b :: rest when a.start + a.len = b.start ->
+      coalesce ({ start = a.start; len = a.len + b.len } :: rest)
+    | a :: rest -> a :: coalesce rest
+    | [] -> []
+  in
+  t.free_list <- coalesce (insert t.free_list)

@@ -1,0 +1,23 @@
+(** Extent allocation over a range of disk blocks.
+
+    Shared by the swap filesystem and the file store: first-fit
+    allocation of contiguous block ranges, with coalescing on free. *)
+
+type t
+
+type extent = { start : int; len : int }
+
+val create : first:int -> len:int -> t
+
+val free_blocks : t -> int
+
+val alloc : t -> len:int -> extent option
+(** First fit; [None] when no hole is large enough. *)
+
+val alloc_at : t -> start:int -> len:int -> extent option
+(** Allocate a specific range if it is entirely free. *)
+
+val free : t -> extent -> unit
+(** Return an extent; coalesces with free neighbours. Freeing a range
+    that was not allocated corrupts the allocator — extents are trusted
+    capabilities here, as block ranges are inside the USD. *)

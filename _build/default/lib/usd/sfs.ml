@@ -1,0 +1,75 @@
+open Engine
+open Disk
+
+type t = { u : Usd.t; extents : Extents.t }
+
+type swapfile = {
+  fs : t;
+  ext : Extents.extent;
+  client : Usd.client;
+  page_blocks : int;
+  mutable closed : bool;
+}
+
+let page_bytes = 8192
+
+let create ?(first_block = 0) ?nblocks u =
+  let total = (Disk_model.params (Usd.disk u)).Disk_params.nblocks in
+  let nblocks = match nblocks with Some n -> n | None -> total - first_block in
+  if first_block < 0 || nblocks <= 0 || first_block + nblocks > total then
+    invalid_arg "Sfs.create: region out of bounds";
+  { u; extents = Extents.create ~first:first_block ~len:nblocks }
+
+let free_blocks t = Extents.free_blocks t.extents
+
+let open_swap t ~name ~bytes ~qos =
+  let block_size = (Disk_model.params (Usd.disk t.u)).Disk_params.block_size in
+  let page_blocks = page_bytes / block_size in
+  let pages = (bytes + page_bytes - 1) / page_bytes in
+  let len = pages * page_blocks in
+  match Extents.alloc t.extents ~len with
+  | None -> Error (Printf.sprintf "no extent of %d blocks available" len)
+  | Some ext ->
+    (match Usd.admit t.u ~name ~qos () with
+    | Error e ->
+      Extents.free t.extents ext;
+      Error e
+    | Ok client -> Ok { fs = t; ext; client; page_blocks; closed = false })
+
+let close_swap t sf =
+  if not sf.closed then begin
+    sf.closed <- true;
+    Usd.retire t.u sf.client;
+    Extents.free t.extents sf.ext
+  end
+
+let extent_blocks sf = sf.ext.Extents.len
+let extent_start sf = sf.ext.Extents.start
+let page_capacity sf = sf.ext.Extents.len / sf.page_blocks
+let usd_client sf = sf.client
+
+let lba_of_page sf page_index =
+  if page_index < 0 || page_index >= page_capacity sf then
+    invalid_arg "Sfs: page index out of extent";
+  sf.ext.Extents.start + (page_index * sf.page_blocks)
+
+let read_page_async sf ~page_index =
+  Usd.submit sf.fs.u sf.client Usd.Read ~lba:(lba_of_page sf page_index)
+    ~nblocks:sf.page_blocks
+
+let write_page_async sf ~page_index =
+  Usd.submit sf.fs.u sf.client Usd.Write ~lba:(lba_of_page sf page_index)
+    ~nblocks:sf.page_blocks
+
+let read_page sf ~page_index = Sync.Ivar.read (read_page_async sf ~page_index)
+
+let write_page sf ~page_index =
+  Sync.Ivar.read (write_page_async sf ~page_index)
+
+let read_pages sf ~page_index ~npages =
+  if npages <= 0 then invalid_arg "Sfs.read_pages: npages <= 0";
+  if page_index + npages > page_capacity sf then
+    invalid_arg "Sfs.read_pages: beyond extent";
+  Sync.Ivar.read
+    (Usd.submit sf.fs.u sf.client Usd.Read ~lba:(lba_of_page sf page_index)
+       ~nblocks:(npages * sf.page_blocks))

@@ -1,0 +1,54 @@
+(** The Swap File System: the control half of the User-Safe Backing
+    Store.
+
+    The SFS owns a region of the disk's block space and handles control
+    operations — allocating an {e extent} (a contiguous range of
+    blocks) for use as a swap file, and negotiating the QoS parameters
+    of the data path with the USD. Data operations then go straight
+    from the client to the USD, scheduled under that client's own
+    guarantee: paging traffic of one domain cannot consume another's
+    disk time. *)
+
+open Engine
+
+type t
+
+type swapfile
+
+val create : ?first_block:int -> ?nblocks:int -> Usd.t -> t
+(** Manage [nblocks] of disk starting at [first_block] (defaults:
+    the whole disk). *)
+
+val open_swap :
+  t -> name:string -> bytes:int -> qos:Qos.t -> (swapfile, string) result
+(** Allocate an extent of at least [bytes] and admit a USD client with
+    the given guarantee. Fails when disk space or disk bandwidth is
+    exhausted. *)
+
+val close_swap : t -> swapfile -> unit
+(** Return the extent to the free pool and retire the USD client. *)
+
+val free_blocks : t -> int
+
+(** {2 Data path} *)
+
+val extent_blocks : swapfile -> int
+val extent_start : swapfile -> int
+val page_capacity : swapfile -> int
+(** Number of whole pages the extent can hold. *)
+
+val read_page : swapfile -> page_index:int -> unit
+(** Synchronous page-sized read of the extent's [page_index]-th page
+    slot, scheduled under the swapfile's guarantee. Blocks the calling
+    process for the transaction's duration. *)
+
+val write_page : swapfile -> page_index:int -> unit
+
+val read_page_async : swapfile -> page_index:int -> unit Sync.Ivar.t
+val write_page_async : swapfile -> page_index:int -> unit Sync.Ivar.t
+
+val read_pages : swapfile -> page_index:int -> npages:int -> unit
+(** One disk transaction covering [npages] consecutive page slots —
+    the stream-paging extension reads ahead with this. *)
+
+val usd_client : swapfile -> Usd.client

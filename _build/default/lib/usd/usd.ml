@@ -1,0 +1,222 @@
+open Engine
+open Sched
+open Disk
+
+type op = Read | Write
+
+type event =
+  | Txn of { client : string; op : op; lba : int; nblocks : int;
+             dur : Time.span }
+  | Alloc of { client : string }
+  | Lax of { client : string; dur : Time.span }
+  | Slack of { client : string; op : op; dur : Time.span }
+
+type request = {
+  op : op;
+  lba : int;
+  nblocks : int;
+  completion : unit Sync.Ivar.t;
+}
+
+type client = {
+  edf : Edf.client;
+  cqos : Qos.t;
+  channel : request Io_channel.t;
+  (* Lax allowance left in the current runnable stint; reset by each
+     transaction and by each new allocation. *)
+  mutable lax_left : Time.span;
+  mutable idled : bool; (* lax expired: off the runnable queue until
+                           the next allocation *)
+  mutable live : bool;
+  mutable txns : int;
+  mutable bytes : int;
+  mutable lax_used : Time.span;
+}
+
+type t = {
+  sim : Sim.t;
+  dm : Disk_model.t;
+  edf : Edf.t;
+  mutable members : client list;
+  kick : Sync.Waitq.t;
+  events : event Trace.t;
+  laxity_enabled : bool;
+  mutable running : bool;
+}
+
+let create ?(rollover = true) ?(laxity_enabled = true) sim dm =
+  { sim; dm; edf = Edf.create ~rollover (); members = [];
+    kick = Sync.Waitq.create (); events = Trace.create ();
+    laxity_enabled; running = false }
+
+let client_name (c : client) = c.edf.Edf.cname
+let qos (c : client) = c.cqos
+let txn_count (c : client) = c.txns
+let bytes_moved (c : client) = c.bytes
+let used_time (c : client) = c.edf.Edf.used_total
+let lax_time (c : client) = c.lax_used
+
+let trace t = t.events
+let disk t = t.dm
+let utilisation t = Edf.utilisation t.edf
+
+let find_member t e =
+  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+
+let has_pending (c : client) = not (Io_channel.is_empty c.channel)
+
+(* Grant period-boundary allocations; a new allocation puts an idled
+   client back on the runnable queue with a fresh lax allowance. *)
+let replenish t ~now =
+  List.iter
+    (fun (c : client) ->
+      if c.live then begin
+        let grants = Edf.replenish t.edf ~now c.edf in
+        if grants > 0 then begin
+          c.idled <- false;
+          c.lax_left <- c.cqos.Qos.laxity;
+          Trace.record t.events now (Alloc { client = client_name c })
+        end
+      end)
+    t.members
+
+let execute_txn t (c : client) ~slack =
+  let req = Io_channel.recv c.channel in
+  let now = Sim.now t.sim in
+  let dur =
+    Disk_model.service t.dm ~now
+      ~op:(match req.op with Read -> Disk_model.Read | Write -> Disk_model.Write)
+      ~lba:req.lba ~nblocks:req.nblocks
+  in
+  Proc.sleep dur;
+  if slack then Edf.charge_slack c.edf dur else Edf.charge c.edf dur;
+  c.txns <- c.txns + 1;
+  c.bytes <- c.bytes + (req.nblocks * (Disk_model.params t.dm).Disk_params.block_size);
+  c.lax_left <- c.cqos.Qos.laxity;
+  let ev =
+    if slack then
+      Slack { client = client_name c; op = req.op; dur }
+    else
+      Txn { client = client_name c; op = req.op; lba = req.lba;
+            nblocks = req.nblocks; dur }
+  in
+  Trace.record t.events (Sim.now t.sim) ev;
+  Sync.Ivar.fill req.completion ()
+
+(* The earliest-deadline runnable client has no transaction pending:
+   it holds the disk for up to its remaining lax allowance (bounded by
+   its budget and by the next period boundary, after which the EDF
+   decision must be re-taken). The wait is charged as if it were
+   transaction time. *)
+let lax_wait t (c : client) =
+  let now = Sim.now t.sim in
+  let bound = min c.lax_left c.edf.Edf.remaining in
+  let bound =
+    match Edf.next_deadline t.edf with
+    | Some d -> min bound (max 1 (Time.diff d now))
+    | None -> bound
+  in
+  if bound <= 0 then c.idled <- true
+  else begin
+    ignore (Sync.Waitq.wait_timeout t.kick bound);
+    let elapsed = Time.diff (Sim.now t.sim) now in
+    if elapsed > 0 then begin
+      Edf.charge c.edf elapsed;
+      c.lax_left <- c.lax_left - elapsed;
+      c.lax_used <- c.lax_used + elapsed;
+      Trace.record t.events (Sim.now t.sim)
+        (Lax { client = client_name c; dur = elapsed });
+      if c.lax_left <= 0 then c.idled <- true
+    end
+  end
+
+let rec scheduler_loop t =
+  let now = Sim.now t.sim in
+  replenish t ~now;
+  let runnable e =
+    match find_member t e with
+    | Some c -> c.live && not c.idled
+    | None -> false
+  in
+  (match Edf.select t.edf ~only:runnable ~now with
+  | Some e ->
+    let c = Option.get (find_member t e) in
+    if has_pending c then execute_txn t c ~slack:false
+    else if t.laxity_enabled then lax_wait t c
+    else begin
+      (* No laxity (ablation): plain EDF marks the client idle until
+         its next periodic allocation — the short-block problem. *)
+      c.idled <- true
+    end
+  | None ->
+    (* Nobody runnable with budget: optionally give slack time to an
+       x-flagged client with queued work, else sleep to the next
+       period boundary or new submission. *)
+    let slack_ok e =
+      match find_member t e with
+      | Some c -> c.live && has_pending c
+      | None -> false
+    in
+    (match Edf.select_slack t.edf ~only:slack_ok ~now with
+    | Some e -> execute_txn t (Option.get (find_member t e)) ~slack:true
+    | None ->
+      (match Edf.next_deadline t.edf with
+      | Some d ->
+        let span = max 1 (Time.diff d now) in
+        ignore (Sync.Waitq.wait_timeout t.kick span)
+      | None -> Sync.Waitq.wait t.kick)));
+  scheduler_loop t
+
+let ensure_running t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (Proc.spawn ~name:"usd-sched" t.sim (fun () -> scheduler_loop t))
+  end
+
+let admit t ~name ~qos ?(channel_depth = 64) () =
+  match
+    Edf.admit t.edf ~name ~period:qos.Qos.period ~slice:qos.Qos.slice
+      ~extra:qos.Qos.extra ~now:(Sim.now t.sim) ()
+  with
+  | Error _ as e -> e
+  | Ok e ->
+    let c =
+      { edf = e; cqos = qos; channel = Io_channel.create ~depth:channel_depth;
+        lax_left = qos.Qos.laxity; idled = false; live = true; txns = 0;
+        bytes = 0; lax_used = 0 }
+    in
+    t.members <- t.members @ [ c ];
+    ensure_running t;
+    Sync.Waitq.broadcast t.kick;
+    Ok c
+
+let retire t (c : client) =
+  c.live <- false;
+  Edf.remove t.edf c.edf;
+  t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  Sync.Waitq.broadcast t.kick
+
+let submit t (c : client) op ~lba ~nblocks =
+  if not c.live then failwith "Usd.submit: client retired";
+  let completion = Sync.Ivar.create () in
+  Io_channel.send c.channel { op; lba; nblocks; completion };
+  Sync.Waitq.broadcast t.kick;
+  completion
+
+let transact t c op ~lba ~nblocks =
+  let completion = submit t c op ~lba ~nblocks in
+  Sync.Ivar.read completion
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+
+let pp_event ppf = function
+  | Txn { client; op; lba; nblocks; dur } ->
+    Format.fprintf ppf "txn %s %a lba=%d n=%d dur=%a" client pp_op op lba
+      nblocks Time.pp_span dur
+  | Alloc { client } -> Format.fprintf ppf "alloc %s" client
+  | Lax { client; dur } ->
+    Format.fprintf ppf "lax %s dur=%a" client Time.pp_span dur
+  | Slack { client; op; dur } ->
+    Format.fprintf ppf "slack %s %a dur=%a" client pp_op op Time.pp_span dur

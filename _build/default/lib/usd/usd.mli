@@ -1,0 +1,72 @@
+(** The User-Safe Disk: Atropos EDF scheduling of disk transactions
+    with laxity and roll-over accounting.
+
+    Each client holds a {!Qos.t} guarantee [(p, s, x, l)]. A scheduler
+    thread in the USD domain repeatedly picks the runnable client with
+    the earliest deadline and performs a single transaction on its
+    behalf; the measured duration is deducted from the client's
+    remaining time. When the remaining time goes non-positive the
+    client moves to the wait queue until its deadline, at which point
+    it receives a new allocation [s] (minus any overrun deficit — the
+    roll-over scheme) and a new deadline one period on.
+
+    {b Laxity}: a runnable client with no transaction pending would,
+    under plain EDF, be marked idle and ignored until its next
+    allocation (the short-block problem — paging clients have at most
+    one request outstanding). Instead the client holds its place on the
+    runnable queue for up to [l], the waiting being charged exactly as
+    if it were transaction time; only when the lax allowance runs dry
+    is the client idled until its next allocation.
+
+    Every transaction, new allocation and lax charge is recorded in a
+    trace — the data behind the scheduler traces in Figures 7 and 8. *)
+
+open Engine
+open Disk
+
+type op = Read | Write
+
+type event =
+  | Txn of { client : string; op : op; lba : int; nblocks : int;
+             dur : Time.span }
+  | Alloc of { client : string }
+  | Lax of { client : string; dur : Time.span }
+  | Slack of { client : string; op : op; dur : Time.span }
+
+type t
+
+type client
+
+val create :
+  ?rollover:bool -> ?laxity_enabled:bool -> Sim.t -> Disk_model.t -> t
+(** [rollover] (default true) and [laxity_enabled] (default true) exist
+    for the A-rollover and A-laxity ablations. *)
+
+val admit :
+  t -> name:string -> qos:Qos.t -> ?channel_depth:int -> unit ->
+  (client, string) result
+(** Admission control refuses the client if Σ s/p would exceed 1.
+    [channel_depth] (default 64) sizes the request IO channel. *)
+
+val retire : t -> client -> unit
+
+val submit :
+  t -> client -> op -> lba:int -> nblocks:int -> unit Sync.Ivar.t
+(** Enqueue a transaction on the client's IO channel (blocking if the
+    channel is full) and return the completion ivar. *)
+
+val transact : t -> client -> op -> lba:int -> nblocks:int -> unit
+(** [submit] then wait for completion. *)
+
+val client_name : client -> string
+val qos : client -> Qos.t
+val txn_count : client -> int
+val bytes_moved : client -> int
+val used_time : client -> Time.span
+val lax_time : client -> Time.span
+
+val trace : t -> event Trace.t
+val disk : t -> Disk_model.t
+val utilisation : t -> float
+
+val pp_event : Format.formatter -> event -> unit

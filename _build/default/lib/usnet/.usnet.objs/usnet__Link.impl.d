@@ -1,0 +1,1 @@
+lib/usnet/link.ml: Edf Engine List Net_params Option Proc Queue Sched Sim Sync Time Trace

@@ -1,0 +1,1 @@
+lib/usnet/link.mli: Engine Net_params Sim Sync Time Trace

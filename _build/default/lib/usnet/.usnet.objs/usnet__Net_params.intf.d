@@ -1,0 +1,1 @@
+lib/usnet/net_params.mli: Engine Time

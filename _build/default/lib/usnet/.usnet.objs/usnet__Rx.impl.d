@@ -1,0 +1,1 @@
+lib/usnet/rx.ml: Engine Hashtbl Printf Proc Queue

@@ -1,0 +1,1 @@
+lib/usnet/rx.mli: Engine Sim

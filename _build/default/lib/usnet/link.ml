@@ -1,0 +1,137 @@
+open Engine
+open Sched
+
+type event =
+  | Tx of { client : string; bytes : int; dur : Time.span }
+  | Alloc of { client : string }
+  | Slack_tx of { client : string; bytes : int; dur : Time.span }
+
+type packet = { bytes : int; completion : unit Sync.Ivar.t }
+
+type client = {
+  edf : Edf.client;
+  ring : packet Queue.t;
+  depth : int;
+  senders : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable packets : int;
+  mutable sent_bytes : int;
+}
+
+type t = {
+  sim : Sim.t;
+  params : Net_params.t;
+  edf : Edf.t;
+  mutable members : client list;
+  kick : Sync.Waitq.t;
+  events : event Trace.t;
+  mutable running : bool;
+}
+
+let create ?(params = Net_params.fast_ethernet) ?(rollover = true) sim =
+  { sim; params; edf = Edf.create ~rollover (); members = [];
+    kick = Sync.Waitq.create (); events = Trace.create (); running = false }
+
+let client_name (c : client) = c.edf.Edf.cname
+let packets_sent (c : client) = c.packets
+let bytes_sent (c : client) = c.sent_bytes
+let used_time (c : client) = c.edf.Edf.used_total
+let trace t = t.events
+let utilisation t = Edf.utilisation t.edf
+
+let find_member t e =
+  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+
+let has_pending (c : client) = not (Queue.is_empty c.ring)
+
+let replenish t ~now =
+  List.iter
+    (fun (c : client) ->
+      if c.live && Edf.replenish t.edf ~now c.edf > 0 then
+        Trace.record t.events now (Alloc { client = client_name c }))
+    t.members
+
+let transmit_one t (c : client) ~slack =
+  let pkt = Queue.pop c.ring in
+  (match Queue.take_opt c.senders with Some wake -> wake () | None -> ());
+  let dur = Net_params.tx_time t.params ~bytes:pkt.bytes in
+  Proc.sleep dur;
+  if slack then Edf.charge_slack c.edf dur else Edf.charge c.edf dur;
+  c.packets <- c.packets + 1;
+  c.sent_bytes <- c.sent_bytes + pkt.bytes;
+  Trace.record t.events (Sim.now t.sim)
+    (if slack then Slack_tx { client = client_name c; bytes = pkt.bytes; dur }
+     else Tx { client = client_name c; bytes = pkt.bytes; dur });
+  Sync.Ivar.fill pkt.completion ()
+
+let rec scheduler_loop t =
+  let now = Sim.now t.sim in
+  replenish t ~now;
+  let sendable e =
+    match find_member t e with
+    | Some c -> c.live && has_pending c
+    | None -> false
+  in
+  (match Edf.select t.edf ~only:sendable ~now with
+  | Some e -> transmit_one t (Option.get (find_member t e)) ~slack:false
+  | None ->
+    (match Edf.select_slack t.edf ~only:sendable ~now with
+    | Some e -> transmit_one t (Option.get (find_member t e)) ~slack:true
+    | None ->
+      (* Sleep to the next period boundary of a client with queued
+         packets, or until a new submission. *)
+      let next_dl =
+        List.fold_left
+          (fun best (c : client) ->
+            if c.live && has_pending c then
+              match best with
+              | Some d when d <= c.edf.Edf.deadline -> best
+              | _ -> Some c.edf.Edf.deadline
+            else best)
+          None t.members
+      in
+      (match next_dl with
+      | Some d ->
+        ignore (Sync.Waitq.wait_timeout t.kick (max 1 (Time.diff d now)))
+      | None -> Sync.Waitq.wait t.kick)));
+  scheduler_loop t
+
+let ensure_running t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (Proc.spawn ~name:"link-sched" t.sim (fun () -> scheduler_loop t))
+  end
+
+let admit t ~name ~period ~slice ?(extra = false) ?(queue_depth = 64) () =
+  if queue_depth <= 0 then Error "queue depth must be positive"
+  else
+    match
+      Edf.admit t.edf ~name ~period ~slice ~extra ~now:(Sim.now t.sim) ()
+    with
+    | Error _ as e -> e
+    | Ok e ->
+      let c =
+        { edf = e; ring = Queue.create (); depth = queue_depth;
+          senders = Queue.create (); live = true; packets = 0; sent_bytes = 0 }
+      in
+      t.members <- t.members @ [ c ];
+      ensure_running t;
+      Sync.Waitq.broadcast t.kick;
+      Ok c
+
+let retire t (c : client) =
+  c.live <- false;
+  Edf.remove t.edf c.edf;
+  t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  Sync.Waitq.broadcast t.kick
+
+let send t (c : client) ~bytes =
+  if not c.live then failwith "Link.send: client retired";
+  if Queue.length c.ring >= c.depth then
+    Proc.suspend (fun wake -> Queue.add wake c.senders);
+  let completion = Sync.Ivar.create () in
+  Queue.add { bytes; completion } c.ring;
+  Sync.Waitq.broadcast t.kick;
+  completion
+
+let transmit t c ~bytes = Sync.Ivar.read (send t c ~bytes)

@@ -1,0 +1,50 @@
+(** The user-safe network link: Atropos-scheduled transmission.
+
+    The paper states that Nemesis hands out explicit low-level
+    guarantees for {e all} resources — "disks, network interfaces and
+    physical memory are treated in the same way". This module applies
+    exactly the machinery of the USD to the transmit side of a network
+    link: clients hold [(p, s, x)] guarantees, an EDF scheduler in the
+    link driver domain performs one packet transmission at a time for
+    the earliest-deadline client with budget, measured wire time is
+    charged against the client's slice with roll-over accounting, and
+    slack goes to x-flagged clients.
+
+    (Packets are three orders of magnitude shorter than disk
+    transactions, so the short-block problem does not bite and no
+    laxity mechanism is needed on this resource.) *)
+
+open Engine
+
+type t
+
+type client
+
+type event =
+  | Tx of { client : string; bytes : int; dur : Time.span }
+  | Alloc of { client : string }
+  | Slack_tx of { client : string; bytes : int; dur : Time.span }
+
+val create : ?params:Net_params.t -> ?rollover:bool -> Sim.t -> t
+
+val admit :
+  t -> name:string -> period:Time.span -> slice:Time.span -> ?extra:bool ->
+  ?queue_depth:int -> unit -> (client, string) result
+(** Admission control: Σ s/p ≤ 1 over the link. [queue_depth]
+    (default 64) bounds the client's transmit ring. *)
+
+val retire : t -> client -> unit
+
+val send : t -> client -> bytes:int -> unit Sync.Ivar.t
+(** Enqueue one packet (blocking while the ring is full); the ivar
+    fills when the packet has left the wire. *)
+
+val transmit : t -> client -> bytes:int -> unit
+(** [send] then wait. *)
+
+val packets_sent : client -> int
+val bytes_sent : client -> int
+val used_time : client -> Time.span
+val client_name : client -> string
+val trace : t -> event Trace.t
+val utilisation : t -> float

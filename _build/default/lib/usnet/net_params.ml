@@ -1,0 +1,12 @@
+open Engine
+
+type t = { rate_bps : float; per_packet : Time.span; mtu : int }
+
+let fast_ethernet =
+  { rate_bps = 100e6; per_packet = Time.us 8; mtu = 1514 }
+
+let tx_time t ~bytes =
+  if bytes <= 0 || bytes > t.mtu then
+    invalid_arg (Printf.sprintf "Net_params.tx_time: bad size %d" bytes);
+  t.per_packet
+  + Time.of_us_float (float_of_int (bytes * 8) /. t.rate_bps *. 1e6)

@@ -1,0 +1,19 @@
+(** Network link parameters.
+
+    Defaults model the 100 Mbit/s switched Ethernet of the paper's era
+    (the Nemesis network work the paper cites ran over ATM and fast
+    Ethernet; only rate and per-packet overhead matter here). *)
+
+open Engine
+
+type t = {
+  rate_bps : float;        (** line rate, bits per second *)
+  per_packet : Time.span;  (** fixed per-packet cost (framing, DMA setup) *)
+  mtu : int;               (** maximum transmission unit, bytes *)
+}
+
+val fast_ethernet : t
+
+val tx_time : t -> bytes:int -> Time.span
+(** Wire time of one packet: fixed overhead + serialisation. Raises
+    [Invalid_argument] for sizes outside (0, mtu]. *)

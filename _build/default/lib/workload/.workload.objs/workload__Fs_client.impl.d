@@ -1,0 +1,1 @@
+lib/workload/fs_client.ml: Core Engine Proc Queue Sampler Sync System Time Usbs

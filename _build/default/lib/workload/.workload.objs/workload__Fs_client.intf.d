@@ -1,0 +1,1 @@
+lib/workload/fs_client.mli: Core Engine Sampler Time Usbs

@@ -1,0 +1,1 @@
+lib/workload/paging_app.ml: Addr Core Domains Engine Hw Proc Sampler Sd_paged Sim Stretch Sync System Time

@@ -1,0 +1,1 @@
+lib/workload/paging_app.mli: Core Engine Sampler Sd_paged System Time Usbs

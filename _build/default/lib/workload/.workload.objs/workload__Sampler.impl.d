@@ -1,0 +1,1 @@
+lib/workload/sampler.ml: Engine Proc Sim Stats Time

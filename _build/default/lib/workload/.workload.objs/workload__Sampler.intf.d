@@ -1,0 +1,1 @@
+lib/workload/sampler.mli: Engine Sim Stats Time

@@ -1,0 +1,55 @@
+open Engine
+open Core
+
+type t = {
+  bytes : int ref;
+  watcher : Sampler.t;
+  pump : Proc.t;
+  client : Usbs.Usd.client;
+}
+
+let page_blocks = 16 (* 8 KB pages of 512-byte blocks *)
+
+let usd_client t = t.client
+
+let bytes_read t = !(t.bytes)
+let sampler t = t.watcher
+let sustained_mbit t = Sampler.sustained t.watcher ()
+
+let stop t =
+  Proc.kill t.pump;
+  Sampler.stop t.watcher
+
+let start sys ~name ~qos ?(depth = 16) ?(sample_period = Time.sec 5) () =
+  let u = System.usd sys in
+  match Usbs.Usd.admit u ~name ~qos ~channel_depth:(max 64 (2 * depth)) () with
+  | Error _ as e -> e
+  | Ok client ->
+    let fs_start, fs_len = System.fs_partition sys in
+    let bytes = ref 0 in
+    let sim = System.sim sys in
+    let pump =
+      Proc.spawn ~name:(name ^ ".pump") sim (fun () ->
+          let outstanding = Queue.create () in
+          let pos = ref 0 in
+          let rec loop () =
+            let lba = fs_start + !pos in
+            pos := !pos + page_blocks;
+            if !pos + page_blocks > fs_len then pos := 0;
+            Queue.add
+              (Usbs.Usd.submit u client Usbs.Usd.Read ~lba
+                 ~nblocks:page_blocks)
+              outstanding;
+            if Queue.length outstanding >= depth then begin
+              Sync.Ivar.read (Queue.pop outstanding);
+              bytes := !bytes + (page_blocks * 512)
+            end;
+            loop ()
+          in
+          loop ())
+    in
+    let watcher =
+      Sampler.start sim ~name:(name ^ ".watch") ~period:sample_period
+        ~bytes:(fun () -> !bytes) ()
+    in
+    Ok { bytes; watcher; pump; client }

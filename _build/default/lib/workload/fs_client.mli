@@ -1,0 +1,22 @@
+(** The file-system client of Figure 9.
+
+    Reads data sequentially from the file-system partition (a different
+    part of the same disk as the swap files), pipelining a significant
+    number of transaction requests — trading buffer space against disk
+    latency — each the size of a page for homogeneity with the paging
+    clients. *)
+
+open Engine
+
+type t
+
+val start :
+  Core.System.t -> name:string -> qos:Usbs.Qos.t -> ?depth:int ->
+  ?sample_period:Time.span -> unit -> (t, string) result
+(** [depth] (default 16) outstanding transactions. *)
+
+val usd_client : t -> Usbs.Usd.client
+val bytes_read : t -> int
+val sampler : t -> Sampler.t
+val sustained_mbit : t -> float
+val stop : t -> unit

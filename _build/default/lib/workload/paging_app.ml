@@ -1,0 +1,110 @@
+open Engine
+open Hw
+open Core
+
+type mode = Paging_in | Paging_out
+
+type t = {
+  d : System.domain;
+  stretch : Stretch.t;
+  info : unit -> Sd_paged.info;
+  bytes : int ref;
+  watcher : Sampler.t;
+  (* Instant at which the measured loop began (init/populate done). *)
+  loop_start : Time.t option ref;
+}
+
+let domain t = t.d
+let bytes_processed t = !(t.bytes)
+let sampler t = t.watcher
+let in_measured_loop t = !(t.loop_start) <> None
+let loop_started_at t = !(t.loop_start)
+
+let sustained_mbit t =
+  match !(t.loop_start) with
+  | None -> nan
+  | Some start -> Sampler.sustained t.watcher ~after:(Time.add start (Time.sec 5)) ()
+
+let paging_info t = t.info ()
+let stop t = Domains.kill t.d.System.dom
+
+(* Touch every page of the stretch once, charging the trivial per-page
+   computation, and count the bytes processed. *)
+let sweep t ~access ~compute_per_page =
+  let dom = t.d.System.dom in
+  let npages = Stretch.npages t.stretch in
+  for i = 0 to npages - 1 do
+    Domains.access dom (Stretch.page_base t.stretch i) access;
+    Domains.consume_cpu dom compute_per_page;
+    t.bytes := !(t.bytes) + Addr.page_size
+  done
+
+let run_app t ~mode ~compute_per_page =
+  (* Initialisation: sequential read, demand-zeroing every page. The
+     byte counter keeps running; measurement cuts off at [loop_start]. *)
+  sweep t ~access:`Read ~compute_per_page;
+  match mode with
+  | Paging_in ->
+    (* Populate the swap file by dirtying every page... *)
+    sweep t ~access:`Write ~compute_per_page;
+    t.loop_start := Some (Sim.now (Proc.sim (Proc.self ())));
+    (* ...then page it all back in, over and over. *)
+    let rec loop () =
+      sweep t ~access:`Read ~compute_per_page;
+      loop ()
+    in
+    loop ()
+  | Paging_out ->
+    t.loop_start := Some (Sim.now (Proc.sim (Proc.self ())));
+    let rec loop () =
+      sweep t ~access:`Write ~compute_per_page;
+      loop ()
+    in
+    loop ()
+
+let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
+    ?(phys_frames = 2) ?(swap_bytes = 16 * 1024 * 1024)
+    ?(compute_per_page = Time.us 20) ?(sample_period = Time.sec 5)
+    ?(cpu_slice = Time.of_ms_float 1.5) ?readahead () =
+  match
+    System.add_domain sys ~name ~cpu_period:(Time.ms 10) ~cpu_slice
+      ~guarantee:phys_frames ~optimistic:0 ()
+  with
+  | Error _ as e -> e
+  | Ok d ->
+    (match System.alloc_stretch d ~bytes:vm_bytes () with
+    | Error _ as e -> e
+    | Ok stretch ->
+      let forgetful = mode = Paging_out in
+      let started = Sync.Ivar.create () in
+      (* Driver creation allocates guaranteed frames and negotiates
+         disk QoS, so it runs in the application's own main thread, as
+         a real self-paging application's would. *)
+      ignore
+        (Domains.spawn_thread d.System.dom ~name:"main" (fun () ->
+             match
+               System.bind_paged d ~forgetful ~initial_frames:phys_frames
+                 ?readahead ~swap_bytes ~qos stretch ()
+             with
+             | Error e -> Sync.Ivar.fill started (Error e)
+             | Ok (_driver, info) ->
+               let bytes = ref 0 in
+               let watcher =
+                 Sampler.start (System.sim sys) ~name:(name ^ ".watch")
+                   ~period:sample_period ~bytes:(fun () -> !bytes) ()
+               in
+               let t =
+                 { d; stretch; info; bytes; watcher; loop_start = ref None }
+               in
+               Sync.Ivar.fill started (Ok t);
+               run_app t ~mode ~compute_per_page));
+      (* Drive the simulation just far enough for setup to finish (the
+         caller typically invokes [start] from outside the sim). *)
+      let sim = System.sim sys in
+      let fuel = ref 1_000_000 in
+      while Sync.Ivar.peek started = None && !fuel > 0 do
+        if Sim.step sim then decr fuel else fuel := 0
+      done;
+      (match Sync.Ivar.peek started with
+      | Some r -> r
+      | None -> Error "application setup did not complete"))

@@ -1,0 +1,43 @@
+(** The paper's test application.
+
+    Creates a paged stretch driver with a tiny amount of physical
+    memory (16 KB — two frames) and 16 MB of swap, allocates a 4 MB
+    stretch, binds it, and then:
+
+    - initialises by sequentially reading every byte (each page demand
+      zeroed);
+    - for the {b paging-in} experiment (Fig. 7): writes every byte
+      (populating the swap file), then loops sequentially reading every
+      byte from the start, wrapping at the top;
+    - for the {b paging-out} experiment (Fig. 8): runs a forgetful
+      stretch driver and loops sequentially writing every byte.
+
+    A trivial amount of computation is charged per page; a watch thread
+    logs bytes processed every 5 seconds. No pre-paging is performed
+    despite the predictable reference pattern. *)
+
+open Engine
+open Core
+
+type mode = Paging_in | Paging_out
+
+type t
+
+val start :
+  System.t -> name:string -> mode:mode -> qos:Usbs.Qos.t ->
+  ?vm_bytes:int -> ?phys_frames:int -> ?swap_bytes:int ->
+  ?compute_per_page:Time.span -> ?sample_period:Time.span ->
+  ?cpu_slice:Time.span -> ?readahead:int -> unit -> (t, string) result
+
+val domain : t -> System.domain
+val bytes_processed : t -> int
+val sampler : t -> Sampler.t
+val sustained_mbit : t -> float
+(** Mean Mbit/s over samples taken after the measured loop began
+    ([nan] while still initialising). *)
+
+val in_measured_loop : t -> bool
+val loop_started_at : t -> Time.t option
+val paging_info : t -> Sd_paged.info
+val stop : t -> unit
+(** Kill the application's domain. *)

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Disk Disk_model Disk_params Engine List Printf QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_domains.ml: Addr Alcotest Core Domains Engine Fault Frames Hw List Mm_entry Mmu Ramtab Rights Sd_paged Sim Stretch Stretch_driver System Time Translation Usbs

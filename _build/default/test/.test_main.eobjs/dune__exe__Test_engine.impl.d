@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Dynarray Engine Float Format Gen Heap List Proc QCheck QCheck_alcotest Rng Sim Stats Sync Time Trace

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Crosstalk Engine Experiments Fig9 Float List Option Paging_fig Printf Table1 Time Workload

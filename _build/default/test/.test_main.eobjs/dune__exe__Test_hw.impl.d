@@ -1,0 +1,1 @@
+test/test_hw.ml: Addr Alcotest Cost Format Guarded_pt Hw Linear_pt List Mmu Option Page_table Pte QCheck QCheck_alcotest Ramtab Rights Tlb

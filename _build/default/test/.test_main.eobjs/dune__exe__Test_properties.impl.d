@@ -1,0 +1,1 @@
+test/test_properties.ml: Core Engine Frame_stack Fun Hashtbl Hw List Namespace Printf Proc Pte QCheck QCheck_alcotest Rights Sched Sim String Time Tlb Trace Usbs

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Core Domains Engine Experiments Hw Idc List Printf Proc Sim System Time Ults Usnet

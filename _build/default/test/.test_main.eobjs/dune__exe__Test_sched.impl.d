@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Cpu Edf Engine Proc Sched Sim Time

@@ -1,0 +1,1 @@
+test/test_usbs.ml: Alcotest Disk Engine Gen Io_channel List Proc QCheck QCheck_alcotest Qos Sfs Sim Time Trace Usbs Usd

@@ -1,0 +1,1 @@
+test/test_usnet.ml: Alcotest Engine Experiments Proc Sim Time Trace Usnet

@@ -1,0 +1,382 @@
+(* Integration tests for the domain runtime, the MMEntry and the three
+   stretch drivers, running on a full System. *)
+
+open Engine
+open Hw
+open Core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let small_sys () =
+  let config = { System.default_config with main_memory_mb = 2 } in
+  System.create ~config ()
+
+let add_domain_exn sys ~name ~guarantee ~optimistic =
+  match System.add_domain sys ~name ~guarantee ~optimistic () with
+  | Ok d -> d
+  | Error e -> failwith e
+
+let alloc_exn d ~bytes =
+  match System.alloc_stretch d ~bytes () with
+  | Ok s -> s
+  | Error e -> failwith e
+
+(* Run [f] inside a thread of domain [d] and drive the sim until it
+   finishes (bounded horizon relative to the current clock). *)
+let in_domain sys d f =
+  let result = ref None in
+  ignore
+    (Domains.spawn_thread d.System.dom ~name:"test" (fun () ->
+         result := Some (f ())));
+  let sim = System.sim sys in
+  System.run sys ~until:(Time.add (Sim.now sim) (Time.sec 300));
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "domain thread did not finish"
+
+(* --- Physical driver + fault path --- *)
+
+let physical_driver_demand_zero () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:8 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(4 * Addr.page_size) in
+  (match System.bind_physical d s with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  in_domain sys d (fun () ->
+      for i = 0 to 3 do
+        Domains.access d.System.dom (Stretch.page_base s i) `Write
+      done);
+  check "four faults taken" 4 (Domains.faults_taken d.System.dom);
+  check "all resolved via workers (no pool preload)" 4
+    (Mm_entry.faults_slow d.System.mm);
+  (* Pages are now mapped: further access does not fault. *)
+  in_domain sys d (fun () ->
+      Domains.access d.System.dom (Stretch.page_base s 2) `Read);
+  check "no further faults" 4 (Domains.faults_taken d.System.dom)
+
+let physical_driver_fast_path () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:8 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(4 * Addr.page_size) in
+  (match System.bind_physical d ~prealloc:4 s with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  in_domain sys d (fun () ->
+      for i = 0 to 3 do
+        Domains.access d.System.dom (Stretch.page_base s i) `Write
+      done);
+  (* With a preloaded pool the notification handler resolves faults
+     without waking a worker. *)
+  check "fast-path faults" 4 (Mm_entry.faults_fast d.System.mm);
+  check "no worker faults" 0 (Mm_entry.faults_slow d.System.mm)
+
+let unallocated_address_fails () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:2 ~optimistic:0 in
+  let failed =
+    in_domain sys d (fun () ->
+        match Domains.try_access d.System.dom (12 * 1024 * 1024) `Read with
+        | Error (fault, _) -> fault.Fault.kind = Mmu.Unallocated
+        | Ok () -> false)
+  in
+  checkb "unallocated fault reported" true failed
+
+let access_violation_fails () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:4 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:Addr.page_size in
+  (match System.bind_physical d s with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (* Drop the owner's write right (keep meta). *)
+  let denied =
+    in_domain sys d (fun () ->
+        Domains.access d.System.dom s.Stretch.base `Write;
+        (match
+           Stretch.set_rights_pdom s ~caller:(Domains.pdom d.System.dom)
+             ~target:(Domains.pdom d.System.dom)
+             Rights.{ r = true; w = false; x = false; m = true }
+         with
+        | Ok _ -> ()
+        | Error _ -> failwith "protect failed");
+        match Domains.try_access d.System.dom s.Stretch.base `Write with
+        | Error (fault, _) -> fault.Fault.kind = Mmu.Access_violation
+        | Ok () -> false)
+  in
+  checkb "write denied after protect" true denied
+
+(* --- Nailed driver --- *)
+
+let nailed_driver_never_faults () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:8 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(4 * Addr.page_size) in
+  in_domain sys d (fun () ->
+      (match System.bind_nailed d s with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      for i = 0 to 3 do
+        Domains.access d.System.dom (Stretch.page_base s i) `Write
+      done);
+  check "no faults at all" 0 (Domains.faults_taken d.System.dom);
+  (* Nailed frames are pinned in the RamTab. *)
+  let ramtab = Translation.ramtab (System.translation sys) in
+  let nailed = ref 0 in
+  for pfn = 0 to Ramtab.nframes ramtab - 1 do
+    if Ramtab.state ramtab ~pfn = Ramtab.Nailed then incr nailed
+  done;
+  check "four frames nailed" 4 !nailed
+
+(* --- Paged driver --- *)
+
+let paged_driver_swaps () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:2 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(8 * Addr.page_size) in
+  let info =
+    in_domain sys d (fun () ->
+        let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
+        let _, info =
+          match
+            System.bind_paged d ~initial_frames:2
+              ~swap_bytes:(16 * Addr.page_size) ~qos s ()
+          with
+          | Ok x -> x
+          | Error e -> failwith e
+        in
+        (* Two passes over 8 pages with 2 frames: the first demand
+           zeroes, the second pages in what the first paged out. *)
+        for i = 0 to 7 do
+          Domains.access d.System.dom (Stretch.page_base s i) `Write
+        done;
+        for i = 0 to 7 do
+          Domains.access d.System.dom (Stretch.page_base s i) `Read
+        done;
+        info ())
+  in
+  check "demand zeros" 8 info.Sd_paged.demand_zeros;
+  checkb "pages written out" true (info.Sd_paged.page_outs >= 6);
+  checkb "pages read back" true (info.Sd_paged.page_ins >= 6);
+  checkb "evictions happened" true (info.Sd_paged.evictions >= 12)
+
+let paged_driver_clean_pages_skip_writeback () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:2 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(8 * Addr.page_size) in
+  let info =
+    in_domain sys d (fun () ->
+        let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
+        let _, info =
+          match
+            System.bind_paged d ~initial_frames:2
+              ~swap_bytes:(16 * Addr.page_size) ~qos s ()
+          with
+          | Ok x -> x
+          | Error e -> failwith e
+        in
+        (* Populate (dirty), then two read-only passes: clean pages are
+           evicted without further write-backs. *)
+        for i = 0 to 7 do
+          Domains.access d.System.dom (Stretch.page_base s i) `Write
+        done;
+        let outs_after_populate = (info ()).Sd_paged.page_outs in
+        for _ = 1 to 2 do
+          for i = 0 to 7 do
+            Domains.access d.System.dom (Stretch.page_base s i) `Read
+          done
+        done;
+        (outs_after_populate, info ()))
+  in
+  let outs_populate, final = info in
+  (* The two pages still resident (and dirty) after the populate pass
+     get cleaned when the read passes evict them; beyond that, clean
+     evictions write nothing. *)
+  checkb "read passes wrote (almost) nothing new" true
+    (final.Sd_paged.page_outs <= outs_populate + 2);
+  checkb "read passes paged in" true (final.Sd_paged.page_ins >= 12)
+
+let paged_driver_forgetful_never_reads () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:2 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(8 * Addr.page_size) in
+  let info =
+    in_domain sys d (fun () ->
+        let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
+        let _, info =
+          match
+            System.bind_paged d ~forgetful:true ~initial_frames:2
+              ~swap_bytes:(16 * Addr.page_size) ~qos s ()
+          with
+          | Ok x -> x
+          | Error e -> failwith e
+        in
+        for _ = 1 to 3 do
+          for i = 0 to 7 do
+            Domains.access d.System.dom (Stretch.page_base s i) `Write
+          done
+        done;
+        info ())
+  in
+  check "never pages in" 0 info.Sd_paged.page_ins;
+  checkb "pages out continuously" true (info.Sd_paged.page_outs >= 20)
+
+(* --- Revocation through the MMEntry --- *)
+
+let mm_entry_revocation () =
+  let sys = small_sys () in
+  let hoarder = add_domain_exn sys ~name:"hoarder" ~guarantee:2 ~optimistic:64 in
+  let hs = alloc_exn hoarder ~bytes:(32 * Addr.page_size) in
+  (match System.bind_physical hoarder hs with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (* Use all of memory (2MB = 256 frames; hoarder takes 32 mapped). *)
+  in_domain sys hoarder (fun () ->
+      for i = 0 to 31 do
+        Domains.access hoarder.System.dom (Stretch.page_base hs i) `Write
+      done);
+  (* Now a newcomer wants more guaranteed frames than remain free. *)
+  let claimant = add_domain_exn sys ~name:"claimant" ~guarantee:240 ~optimistic:0 in
+  let got =
+    in_domain sys claimant (fun () ->
+        let got = ref 0 in
+        for _ = 1 to 240 do
+          match
+            Frames.alloc (System.frames sys) claimant.System.frames_client
+          with
+          | Some _ -> incr got
+          | None -> ()
+        done;
+        !got)
+  in
+  check "guarantee fully met" 240 got;
+  checkb "revocation went through the MMEntry" true
+    (Mm_entry.revocations_handled hoarder.System.mm > 0);
+  checkb "hoarder survived" true (Domains.alive hoarder.System.dom);
+  checkb "hoarder kept its guarantee" true
+    (Frames.held hoarder.System.frames_client >= 2)
+
+(* --- Kill semantics --- *)
+
+let kill_domain_releases_everything () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"victim" ~guarantee:8 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(8 * Addr.page_size) in
+  (match System.bind_physical d s with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  in_domain sys d (fun () ->
+      for i = 0 to 7 do
+        Domains.access d.System.dom (Stretch.page_base s i) `Write
+      done);
+  let free_before = Frames.free_frames (System.frames sys) in
+  System.kill_domain sys d;
+  checkb "dead" false (Domains.alive d.System.dom);
+  check "frames released" (free_before + 8)
+    (Frames.free_frames (System.frames sys));
+  checkb "removed from system" true
+    (not (List.memq d (System.domains sys)))
+
+(* --- Single-address-space sharing --- *)
+
+let cross_domain_sharing () =
+  (* "The use of the single address space and widespread sharing of
+     text ensures that the execution of each domain is completely
+     independent... save when interaction is desired." Domain A nails a
+     stretch (shared text) and grants read access to B's protection
+     domain; B then reads it with no faults and no resources of its
+     own involved. *)
+  let sys = small_sys () in
+  let a = add_domain_exn sys ~name:"provider" ~guarantee:8 ~optimistic:0 in
+  let b = add_domain_exn sys ~name:"consumer" ~guarantee:2 ~optimistic:0 in
+  let s = alloc_exn a ~bytes:(4 * Addr.page_size) in
+  in_domain sys a (fun () ->
+      (match System.bind_nailed a s with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      (* Grant read (no write, no meta) to the consumer. *)
+      match
+        Stretch.set_rights_pdom s ~caller:(Domains.pdom a.System.dom)
+          ~target:(Domains.pdom b.System.dom) Rights.read
+      with
+      | Ok _ -> ()
+      | Error _ -> failwith "grant failed");
+  in_domain sys b (fun () ->
+      for i = 0 to 3 do
+        Domains.access b.System.dom (Stretch.page_base s i) `Read
+      done);
+  check "consumer took no faults" 0 (Domains.faults_taken b.System.dom);
+  (* The consumer cannot write or change protections. *)
+  let denied =
+    in_domain sys b (fun () ->
+        (match Domains.try_access b.System.dom s.Stretch.base `Write with
+        | Error (f, _) -> f.Fault.kind = Mmu.Access_violation
+        | Ok () -> false)
+        &&
+        match
+          Stretch.set_rights_pdom s ~caller:(Domains.pdom b.System.dom)
+            ~target:(Domains.pdom b.System.dom) Rights.all
+        with
+        | Error Translation.No_meta -> true
+        | _ -> false)
+  in
+  checkb "write and re-protection denied" true denied
+
+(* --- IDC restriction in activation handlers --- *)
+
+let idc_forbidden_in_handler () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:4 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:Addr.page_size in
+  (* A rogue driver that attempts IDC on the fast path. *)
+  let violated = ref false in
+  let rogue =
+    { Stretch_driver.name = "rogue";
+      bind = (fun _ -> ());
+      fast =
+        (fun _ ->
+          (try d.System.env.Stretch_driver.assert_idc_allowed "frames"
+           with Failure _ -> violated := true);
+          Stretch_driver.Failure "rogue");
+      full = (fun _ -> Stretch_driver.Failure "rogue");
+      relinquish = (fun ~want:_ -> 0);
+      resident_pages = (fun () -> 0);
+      free_frames = (fun () -> 0) }
+  in
+  Mm_entry.bind d.System.mm s rogue;
+  ignore
+    (in_domain sys d (fun () ->
+         match Domains.try_access d.System.dom s.Stretch.base `Read with
+         | Error _ -> ()
+         | Ok () -> ()));
+  checkb "IDC rejected inside the notification handler" true !violated
+
+let suite =
+  [ ( "domains.fault_path",
+      [ Alcotest.test_case "physical driver demand-zero" `Quick
+          physical_driver_demand_zero;
+        Alcotest.test_case "fast path with preloaded pool" `Quick
+          physical_driver_fast_path;
+        Alcotest.test_case "unallocated address fails" `Quick
+          unallocated_address_fails;
+        Alcotest.test_case "access violation after protect" `Quick
+          access_violation_fails;
+        Alcotest.test_case "IDC forbidden in handler" `Quick
+          idc_forbidden_in_handler ] );
+    ( "domains.drivers",
+      [ Alcotest.test_case "nailed never faults" `Quick
+          nailed_driver_never_faults;
+        Alcotest.test_case "paged driver swaps in and out" `Quick
+          paged_driver_swaps;
+        Alcotest.test_case "clean pages skip write-back" `Quick
+          paged_driver_clean_pages_skip_writeback;
+        Alcotest.test_case "forgetful mode never reads" `Quick
+          paged_driver_forgetful_never_reads ] );
+    ( "domains.sharing",
+      [ Alcotest.test_case "single-address-space text sharing" `Quick
+          cross_domain_sharing ] );
+    ( "domains.revocation",
+      [ Alcotest.test_case "revocation via MMEntry" `Quick mm_entry_revocation;
+        Alcotest.test_case "kill releases resources" `Quick
+          kill_domain_releases_everything ] ) ]

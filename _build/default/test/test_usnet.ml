@@ -1,0 +1,161 @@
+(* Tests for the user-safe network link. *)
+
+open Engine
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let mk () =
+  let sim = Sim.create () in
+  (sim, Usnet.Link.create sim)
+
+let admit_exn link ~name ~period ~slice ?extra () =
+  match Usnet.Link.admit link ~name ~period ~slice ?extra () with
+  | Ok c -> c
+  | Error e -> failwith e
+
+let tx_time_model () =
+  let p = Usnet.Net_params.fast_ethernet in
+  (* 1514 bytes at 100 Mbit/s = 121.1 us on the wire + 8 us overhead. *)
+  let t = Usnet.Net_params.tx_time p ~bytes:1514 in
+  checkb "about 129us" true (t > Time.us 128 && t < Time.us 131);
+  Alcotest.check_raises "oversized packet"
+    (Invalid_argument "Net_params.tx_time: bad size 2000") (fun () ->
+      ignore (Usnet.Net_params.tx_time p ~bytes:2000))
+
+let link_admission () =
+  let _, link = mk () in
+  ignore (admit_exn link ~name:"a" ~period:(Time.ms 10) ~slice:(Time.ms 6) ());
+  ignore (admit_exn link ~name:"b" ~period:(Time.ms 10) ~slice:(Time.ms 4) ());
+  match
+    Usnet.Link.admit link ~name:"c" ~period:(Time.ms 10) ~slice:(Time.ms 1) ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overbooked link admission accepted"
+
+let link_single_sender () =
+  let sim, link = mk () in
+  let c = admit_exn link ~name:"a" ~period:(Time.ms 10) ~slice:(Time.ms 5) () in
+  let sent = ref 0 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         for _ = 1 to 20 do
+           Usnet.Link.transmit link c ~bytes:1000;
+           incr sent
+         done));
+  Sim.run ~until:(Time.sec 1) sim;
+  check "all packets out" 20 !sent;
+  check "counted" 20 (Usnet.Link.packets_sent c);
+  check "bytes" 20_000 (Usnet.Link.bytes_sent c);
+  checkb "time charged" true (Usnet.Link.used_time c > 0)
+
+let link_shares_follow_guarantees () =
+  let sim, link = mk () in
+  let a = admit_exn link ~name:"a" ~period:(Time.ms 10) ~slice:(Time.ms 4) () in
+  let b = admit_exn link ~name:"b" ~period:(Time.ms 10) ~slice:(Time.ms 2) () in
+  let flood c () =
+    let rec loop () =
+      ignore (Usnet.Link.send link c ~bytes:1514);
+      Proc.yield ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Proc.spawn sim (flood a));
+  ignore (Proc.spawn sim (flood b));
+  Sim.run ~until:(Time.sec 5) sim;
+  let ratio =
+    float_of_int (Usnet.Link.bytes_sent a)
+    /. float_of_int (Usnet.Link.bytes_sent b)
+  in
+  checkb "2:1 within 10%" true (ratio > 1.8 && ratio < 2.2)
+
+let link_slack_for_x_clients () =
+  let sim, link = mk () in
+  let a =
+    admit_exn link ~name:"a" ~period:(Time.ms 10) ~slice:(Time.ms 1)
+      ~extra:true ()
+  in
+  let flood () =
+    let rec loop () =
+      ignore (Usnet.Link.send link a ~bytes:1514);
+      Proc.yield ();
+      loop ()
+    in
+    loop ()
+  in
+  ignore (Proc.spawn sim flood);
+  Sim.run ~until:(Time.sec 2) sim;
+  (* On an otherwise idle link, a 10% x-client can exceed its slice. *)
+  let share =
+    float_of_int (Usnet.Link.used_time a) /. float_of_int (Time.sec 2)
+  in
+  checkb "well beyond its 10%" true (share > 0.5);
+  let slack = ref 0 in
+  Trace.iter
+    (fun _ ev -> match ev with Usnet.Link.Slack_tx _ -> incr slack | _ -> ())
+    (Usnet.Link.trace link);
+  checkb "slack transmissions traced" true (!slack > 0)
+
+let link_latency_under_guarantee () =
+  let sim, link = mk () in
+  (* A periodic 20%-guaranteed sender on a contended link never waits
+     more than roughly a period for its packet. *)
+  let cm = admit_exn link ~name:"cm" ~period:(Time.ms 5) ~slice:(Time.ms 1) () in
+  let bulk =
+    admit_exn link ~name:"bulk" ~period:(Time.ms 100) ~slice:(Time.ms 79) ()
+  in
+  ignore
+    (Proc.spawn sim (fun () ->
+         let rec loop () =
+           ignore (Usnet.Link.send link bulk ~bytes:1514);
+           Proc.yield ();
+           loop ()
+         in
+         loop ()));
+  let worst = ref 0 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         for _ = 1 to 200 do
+           let t0 = Sim.now sim in
+           Usnet.Link.transmit link cm ~bytes:512;
+           let dt = Time.diff (Sim.now sim) t0 in
+           if dt > !worst then worst := dt;
+           Proc.sleep (Time.ms 4)
+         done));
+  Sim.run ~until:(Time.sec 5) sim;
+  checkb "cm latency bounded by ~a period" true (!worst < Time.ms 8)
+
+let netiso_shares_shape () =
+  let r = Experiments.Net_iso.run_shares ~duration:(Time.sec 10) () in
+  match r.Experiments.Net_iso.senders with
+  | [ (_, _, one); (_, _, two); (_, _, four) ] ->
+    Alcotest.(check (float 1e-9)) "base" 1.0 one;
+    checkb "2x" true (two > 1.9 && two < 2.1);
+    checkb "4x" true (four > 3.8 && four < 4.2)
+  | _ -> Alcotest.fail "expected three senders"
+
+let netiso_crosstalk_direction () =
+  let r =
+    Experiments.Net_iso.run_kernel_crosstalk ~duration:(Time.sec 40) ()
+  in
+  checkb "shared event loop much worse" true
+    (r.Experiments.Net_iso.shared_p95_ms
+     > 10.0 *. r.Experiments.Net_iso.nemesis_p95_ms);
+  checkb "nemesis latency sub-ms" true
+    (r.Experiments.Net_iso.nemesis_p95_ms < 1.0)
+
+let suite =
+  [ ( "usnet.params",
+      [ Alcotest.test_case "tx time model" `Quick tx_time_model ] );
+    ( "usnet.link",
+      [ Alcotest.test_case "admission control" `Quick link_admission;
+        Alcotest.test_case "single sender" `Quick link_single_sender;
+        Alcotest.test_case "2:1 shares" `Quick link_shares_follow_guarantees;
+        Alcotest.test_case "slack for x clients" `Quick link_slack_for_x_clients;
+        Alcotest.test_case "CM latency bounded" `Quick
+          link_latency_under_guarantee ] );
+    ( "usnet.experiments",
+      [ Alcotest.test_case "1:2:4 link shares" `Slow netiso_shares_shape;
+        Alcotest.test_case "kernel crosstalk direction" `Slow
+          netiso_crosstalk_direction ] ) ]
