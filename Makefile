@@ -1,0 +1,27 @@
+.PHONY: all build test bench fmt check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Formatting gate: only enforced when ocamlformat is installed (the
+# default container does not ship it); the build and tests always run.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: fmt build test
+	@echo "check OK"
+
+clean:
+	dune clean

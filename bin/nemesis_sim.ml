@@ -22,6 +22,49 @@ let csv_arg =
   let doc = "Also write the bandwidth series as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+(* Observability: either flag switches instrumentation on for the whole
+   run; experiments that execute several configurations reset the
+   registry between them, so the dumped files cover the final
+   configuration (the stdout report covers each). *)
+
+let metrics_arg =
+  let doc =
+    "Enable instrumentation and write the metrics registry (counters, \
+     gauges, latency histograms) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Enable instrumentation and write finished spans as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_args = Term.(const (fun m t -> (m, t)) $ metrics_arg $ trace_arg)
+
+let write_file path contents =
+  match open_out path with
+  | exception Sys_error msg ->
+    Printf.eprintf "nemesis-sim: cannot write %s\n" msg;
+    exit 1
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc contents;
+        output_char oc '\n');
+    Printf.printf "wrote %s\n" path
+
+let with_obs (metrics, trace) f =
+  let instrument = metrics <> None || trace <> None in
+  if instrument then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end;
+  f ();
+  if instrument then begin
+    Option.iter (fun path -> write_file path (Obs.Metrics.to_json ())) metrics;
+    Option.iter (fun path -> write_file path (Obs.Span.to_csv ())) trace
+  end
+
 let write_csv path rows =
   let oc = open_out path in
   Fun.protect
@@ -43,61 +86,67 @@ let paging_csv (r : Paging_fig.result) =
     r.Paging_fig.apps
 
 let table1_cmd =
-  let run () = Table1.print (Table1.run ()) in
+  let run obs = with_obs obs (fun () -> Table1.print (Table1.run ())) in
   Cmd.v (Cmd.info "table1" ~doc:"Comparative micro-benchmarks (Table 1)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_args)
 
 let fig7_cmd =
-  let run d csv =
-    let r = Paging_fig.run ~duration:(sec d) () in
-    Paging_fig.print r;
-    Paging_fig.print_series r;
-    Paging_fig.print_trace r;
-    Option.iter (fun path -> write_csv path (paging_csv r)) csv
+  let run obs d csv =
+    with_obs obs (fun () ->
+        let r = Paging_fig.run ~duration:(sec d) () in
+        Paging_fig.print r;
+        Paging_fig.print_series r;
+        Paging_fig.print_trace r;
+        Option.iter (fun path -> write_csv path (paging_csv r)) csv)
   in
   Cmd.v (Cmd.info "fig7" ~doc:"Paging in under disk guarantees (Figure 7)")
-    Term.(const run $ duration_arg 240 $ csv_arg)
+    Term.(const run $ obs_args $ duration_arg 240 $ csv_arg)
 
 let fig8_cmd =
-  let run d csv =
-    let r =
-      Paging_fig.run ~mode:Workload.Paging_app.Paging_out ~duration:(sec d) ()
-    in
-    Paging_fig.print r;
-    Paging_fig.print_series r;
-    Paging_fig.print_trace r;
-    Option.iter (fun path -> write_csv path (paging_csv r)) csv
+  let run obs d csv =
+    with_obs obs (fun () ->
+        let r =
+          Paging_fig.run ~mode:Workload.Paging_app.Paging_out
+            ~duration:(sec d) ()
+        in
+        Paging_fig.print r;
+        Paging_fig.print_series r;
+        Paging_fig.print_trace r;
+        Option.iter (fun path -> write_csv path (paging_csv r)) csv)
   in
   Cmd.v (Cmd.info "fig8" ~doc:"Paging out under disk guarantees (Figure 8)")
-    Term.(const run $ duration_arg 240 $ csv_arg)
+    Term.(const run $ obs_args $ duration_arg 240 $ csv_arg)
 
 let fig9_cmd =
-  let run d csv =
-    let r = Fig9.run ~duration:(sec d) () in
-    Fig9.print r;
-    Fig9.print_series r;
-    Option.iter
-      (fun path ->
-        let rows =
-          List.map
-            (fun (t, v) -> ("fs_alone", Engine.Time.to_sec t, v))
-            r.Fig9.alone_series
-          @ List.map
-              (fun (t, v) -> ("fs_contended", Engine.Time.to_sec t, v))
-              r.Fig9.contended_series
-        in
-        write_csv path rows)
-      csv
+  let run obs d csv =
+    with_obs obs (fun () ->
+        let r = Fig9.run ~duration:(sec d) () in
+        Fig9.print r;
+        Fig9.print_series r;
+        Option.iter
+          (fun path ->
+            let rows =
+              List.map
+                (fun (t, v) -> ("fs_alone", Engine.Time.to_sec t, v))
+                r.Fig9.alone_series
+              @ List.map
+                  (fun (t, v) -> ("fs_contended", Engine.Time.to_sec t, v))
+                  r.Fig9.contended_series
+            in
+            write_csv path rows)
+          csv)
   in
   Cmd.v (Cmd.info "fig9" ~doc:"File-system isolation (Figure 9)")
-    Term.(const run $ duration_arg 120 $ csv_arg)
+    Term.(const run $ obs_args $ duration_arg 120 $ csv_arg)
 
 let crosstalk_cmd =
-  let run d = Crosstalk.print (Crosstalk.run ~duration:(sec d) ()) in
+  let run obs d =
+    with_obs obs (fun () -> Crosstalk.print (Crosstalk.run ~duration:(sec d) ()))
+  in
   Cmd.v
     (Cmd.info "crosstalk"
        ~doc:"External pager vs self-paging (Figure 2, quantified)")
-    Term.(const run $ duration_arg 180)
+    Term.(const run $ obs_args $ duration_arg 180)
 
 let ablation_names = [ "laxity"; "rollover"; "pt"; "slack"; "stream"; "revoke" ]
 
@@ -122,43 +171,48 @@ let ablate_cmd =
     in
     Arg.(value & pos_all string ablation_names & info [] ~docv:"NAME" ~doc)
   in
-  let run d names = List.iter (run_ablation d) names in
+  let run obs d names =
+    with_obs obs (fun () -> List.iter (run_ablation d) names)
+  in
   Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations (DESIGN.md)")
-    Term.(const run $ duration_arg 120 $ which)
+    Term.(const run $ obs_args $ duration_arg 120 $ which)
 
 let netiso_cmd =
-  let run d =
-    Net_iso.print_shares (Net_iso.run_shares ~duration:(sec (min d 30)) ());
-    Net_iso.print_kernel_crosstalk
-      (Net_iso.run_kernel_crosstalk ~duration:(sec d) ())
+  let run obs d =
+    with_obs obs (fun () ->
+        Net_iso.print_shares (Net_iso.run_shares ~duration:(sec (min d 30)) ());
+        Net_iso.print_kernel_crosstalk
+          (Net_iso.run_kernel_crosstalk ~duration:(sec d) ()))
   in
   Cmd.v
     (Cmd.info "netiso"
        ~doc:"Network-link guarantees and cross-resource crosstalk")
-    Term.(const run $ duration_arg 60)
+    Term.(const run $ obs_args $ duration_arg 60)
 
 let all_cmd =
-  let run d =
-    Table1.print (Table1.run ());
-    let r7 = Paging_fig.run ~duration:(sec d) () in
-    Paging_fig.print r7;
-    Paging_fig.print_series r7;
-    Paging_fig.print_trace r7;
-    let r8 =
-      Paging_fig.run ~mode:Workload.Paging_app.Paging_out ~duration:(sec d) ()
-    in
-    Paging_fig.print r8;
-    Paging_fig.print_series r8;
-    Paging_fig.print_trace r8;
-    Fig9.print (Fig9.run ~duration:(sec (min d 120)) ());
-    Crosstalk.print (Crosstalk.run ~duration:(sec (min d 180)) ());
-    Net_iso.print_shares (Net_iso.run_shares ());
-    Net_iso.print_kernel_crosstalk
-      (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
-    List.iter (run_ablation (min d 120)) ablation_names
+  let run obs d =
+    with_obs obs (fun () ->
+        Table1.print (Table1.run ());
+        let r7 = Paging_fig.run ~duration:(sec d) () in
+        Paging_fig.print r7;
+        Paging_fig.print_series r7;
+        Paging_fig.print_trace r7;
+        let r8 =
+          Paging_fig.run ~mode:Workload.Paging_app.Paging_out
+            ~duration:(sec d) ()
+        in
+        Paging_fig.print r8;
+        Paging_fig.print_series r8;
+        Paging_fig.print_trace r8;
+        Fig9.print (Fig9.run ~duration:(sec (min d 120)) ());
+        Crosstalk.print (Crosstalk.run ~duration:(sec (min d 180)) ());
+        Net_iso.print_shares (Net_iso.run_shares ());
+        Net_iso.print_kernel_crosstalk
+          (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
+        List.iter (run_ablation (min d 120)) ablation_names)
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
-    Term.(const run $ duration_arg 240)
+    Term.(const run $ obs_args $ duration_arg 240)
 
 let main =
   let info =

@@ -77,11 +77,21 @@ let drain_faults t () =
     | None -> ()
     | Some fault ->
       consume_cpu t t.cost.Cost.notify_handler;
+      let act_span =
+        if !Obs.enabled then
+          Some
+            (Obs.Span.start ~now:(Sim.now t.sim) ~label:t.dname
+               ?parent:fault.Fault.span "activation")
+        else None
+      in
       (match t.fault_handler with
       | Some handler -> handler fault
       | None ->
         Sync.Ivar.fill fault.Fault.resolved
           (Fault.Failed "no fault handler registered"));
+      (match act_span with
+      | Some s -> Obs.Span.finish ~now:(Sim.now t.sim) s
+      | None -> ());
       drain ()
   in
   drain ()
@@ -127,9 +137,26 @@ let rec do_access t va kind ~attempt =
       let fault =
         Fault.make ~va ~access:kind ~kind:fk ~sid ~now:(Sim.now t.sim)
       in
+      if !Obs.enabled then begin
+        Obs.Metrics.inc ~label:t.dname "fault.count";
+        fault.Fault.span <-
+          Some (Obs.Span.start ~now:fault.Fault.raised_at ~label:t.dname "fault")
+      end;
       Queue.add fault t.fault_queue;
       Event_chan.send t.fault_chan;
-      (match Sync.Ivar.read fault.Fault.resolved with
+      let outcome = Sync.Ivar.read fault.Fault.resolved in
+      if !Obs.enabled then begin
+        let now = Sim.now t.sim in
+        (match fault.Fault.span with
+        | Some s -> Obs.Span.finish ~now s
+        | None -> ());
+        Obs.Metrics.observe ~label:t.dname "fault.latency_us"
+          (Time.to_us (Time.diff now fault.Fault.raised_at));
+        match outcome with
+        | Fault.Failed _ -> Obs.Metrics.inc ~label:t.dname "fault.failed"
+        | Fault.Resolved -> ()
+      end;
+      (match outcome with
       | Fault.Resolved -> do_access t va kind ~attempt:(attempt + 1)
       | Fault.Failed msg -> Error (fault, msg))
     end

@@ -12,6 +12,7 @@ let name t = t.ev_name
 
 let send t =
   t.count <- t.count + 1;
+  if !Obs.enabled then Obs.Metrics.inc ~label:t.ev_name "event.sends";
   match t.notify with Some f -> f () | None -> ()
 
 let count t = t.count

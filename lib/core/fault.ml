@@ -10,12 +10,14 @@ type t = {
   sid : int option;
   raised_at : Time.t;
   resolved : outcome Sync.Ivar.t;
+  mutable span : Obs.Span.t option;
 }
 
 exception Unresolved of t * string
 
 let make ~va ~access ~kind ~sid ~now =
-  { va; access; kind; sid; raised_at = now; resolved = Sync.Ivar.create () }
+  { va; access; kind; sid; raised_at = now; resolved = Sync.Ivar.create ();
+    span = None }
 
 let pp_access ppf = function
   | `Read -> Format.pp_print_string ppf "read"

@@ -111,6 +111,9 @@ let admit t ~domain ~guarantee ~optimistic =
         pending_rev = None; live = true }
     in
     t.members <- t.members @ [ c ];
+    if !Obs.enabled then
+      Obs.Qos_audit.mem_grant ~now:(Sim.now t.sim) ~dom:domain ~guarantee
+        ~capacity:t.nframes;
     Ok c
   end
 
@@ -162,6 +165,7 @@ let kill_victim t victim =
   victim.pending_rev <- None;
   t.members <- List.filter (fun c -> c.domain <> victim.domain) t.members;
   release_all_frames t victim;
+  if !Obs.enabled then Obs.Qos_audit.mem_release ~dom:victim.domain;
   t.kill victim.domain
 
 let revocation_ready _t c =
@@ -200,7 +204,8 @@ let intrusive_reclaim t victim ~want =
     min want t.free_count
   | Some notify ->
     t.intrusive_count <- t.intrusive_count + 1;
-    let deadline = Time.add (Sim.now t.sim) t.deadline_span in
+    let started = Sim.now t.sim in
+    let deadline = Time.add started t.deadline_span in
     let rev = { rev_k = want; ready = Sync.Ivar.create () } in
     victim.pending_rev <- Some rev;
     notify ~k:want ~deadline;
@@ -208,9 +213,20 @@ let intrusive_reclaim t victim ~want =
     let replied =
       Sync.Ivar.read_timeout rev.ready t.deadline_span <> None
     in
-    ignore deadline;
     victim.pending_rev <- None;
+    let audit ~ok =
+      if !Obs.enabled then begin
+        let finished = Sim.now t.sim in
+        Obs.Qos_audit.revocation_done ~now:finished ~dom:victim.domain
+          ~deadline ~ok;
+        Obs.Metrics.observe
+          ~label:(Printf.sprintf "dom%d" victim.domain)
+          "revoke.latency_us"
+          (Time.to_us (Time.diff finished started))
+      end
+    in
     if not replied then begin
+      audit ~ok:false;
       kill_victim t victim;
       want
     end
@@ -222,10 +238,14 @@ let intrusive_reclaim t victim ~want =
         if reclaim_top t victim then incr got else ok := false
       done;
       if !got < rev.rev_k then begin
+        audit ~ok:false;
         kill_victim t victim;
         rev.rev_k
       end
-      else !got
+      else begin
+        audit ~ok:true;
+        !got
+      end
     end
 
 (* How many frames to reclaim per revocation round: batching amortises
@@ -270,7 +290,11 @@ let alloc t c =
         Some pfn
       | None -> None (* impossible while Σg <= nframes; defensive *)
     end
-    else None
+    else begin
+      if !Obs.enabled then
+        Obs.Qos_audit.guarantee_starved ~now:(Sim.now t.sim) ~dom:c.domain;
+      None
+    end
   end
   else if c.n < c.g + c.o && t.free_count > 0 then begin
     match pool_take_any t with
@@ -366,5 +390,6 @@ let retire t c =
   if c.live then begin
     c.live <- false;
     t.members <- List.filter (fun c' -> c'.domain <> c.domain) t.members;
-    release_all_frames t c
+    release_all_frames t c;
+    if !Obs.enabled then Obs.Qos_audit.mem_release ~dom:c.domain
   end

@@ -33,6 +33,20 @@ type state = {
 
 let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
 
+(* Span helpers: driver code always runs on some domain's process, so
+   the current process's simulation clock is the right one. *)
+let span_start st ?parent sname =
+  if !Obs.enabled then
+    Some
+      (Obs.Span.start
+         ~now:(Engine.Sim.now (Engine.Proc.current_sim ()))
+         ~label:st.env.Stretch_driver.domain_name ?parent sname)
+  else None
+
+let span_finish = function
+  | Some s -> Obs.Span.finish ~now:(Engine.Sim.now (Engine.Proc.current_sim ())) s
+  | None -> ()
+
 let the_stretch st =
   match st.stretch with
   | Some s -> s
@@ -101,7 +115,9 @@ let evict_one st =
       if must_clean then begin
         env.Stretch_driver.assert_idc_allowed "USBS write";
         let blok = blok_for st victim in
+        let sp = span_start st "usd.write" in
         Usbs.Sfs.write_page st.swap ~page_index:blok;
+        span_finish sp;
         st.page_outs <- st.page_outs + 1
       end;
       st.evictions <- st.evictions + 1;
@@ -207,7 +223,10 @@ let full st (fault : Fault.t) =
             end
             else continue_ := false
           done;
+          let sp = span_start st ?parent:fault.Fault.span "usd.read" in
           Usbs.Sfs.read_pages st.swap ~page_index:blok0 ~npages:!run;
+          span_finish sp;
+          let mp = span_start st ?parent:fault.Fault.span "map" in
           List.iter
             (fun (p, f) ->
               let va = Stretch.page_base (the_stretch st) p in
@@ -216,6 +235,7 @@ let full st (fault : Fault.t) =
               Queue.add p st.resident_fifo;
               Frame_stack.move_to_bottom (stack st) f)
             (List.rev !frames);
+          span_finish mp;
           st.page_ins <- st.page_ins + !run;
           st.prefetched <- st.prefetched + (!run - 1);
           Stretch_driver.Success

@@ -38,6 +38,8 @@ let min_value t = t.minv
 let max_value t = t.maxv
 
 let percentile t p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
   match t.samples with
   | None -> invalid_arg "Stats.percentile: samples not kept"
   | Some d ->

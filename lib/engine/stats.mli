@@ -24,7 +24,12 @@ val max_value : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [0,100]; requires [keep_samples];
-    [nan] when empty. Linear interpolation between order statistics. *)
+    [nan] when empty. Linear interpolation between order statistics:
+    [p = 0] is the minimum, [p = 100] the maximum, and a single-sample
+    summary returns that sample for every [p].
+
+    @raise Invalid_argument when [p] is outside [0,100] (or NaN), or
+    when samples were not kept. *)
 
 val pp : Format.formatter -> t -> unit
 

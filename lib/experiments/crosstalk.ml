@@ -15,6 +15,8 @@ type config_result = {
   light_cpu_ms : float;
   heavy_cpu_ms : float;
   pager_cpu_ms : float;
+  fault_hists : (string * Obs.Metrics.hist_view) list;
+  audit : Obs.Qos_audit.summary option;
 }
 
 type result = { self_paging : config_result; external_pager : config_result }
@@ -83,6 +85,9 @@ let latency_of stats =
 let cpu_ms dom = Time.to_ms (Domains.cpu_used dom)
 
 let run_config ~external_ ~duration ~burst_pages ~burst_period =
+  (* Each configuration gets a clean observability slate, so its
+     histograms and audit verdict describe this run alone. *)
+  if !Obs.enabled then Obs.reset ();
   let sys = Harness.fresh_system () in
   let light_d, light_s = make_app sys ~name:"light" ~bytes:light_bytes_vm in
   let heavy_d, heavy_s = make_app sys ~name:"heavy" ~bytes:heavy_bytes_vm in
@@ -137,11 +142,25 @@ let run_config ~external_ ~duration ~burst_pages ~burst_period =
     (Domains.spawn_thread heavy_d.System.dom ~name:"churn"
        (heavy_thread heavy_d heavy_s heavy_bytes));
   System.run sys ~until:duration;
+  let fault_hists =
+    if !Obs.enabled then
+      List.filter_map
+        (fun label ->
+          Option.map
+            (fun v -> (label, v))
+            (Obs.Metrics.hist_view ~label "fault.latency_us"))
+        (Obs.Metrics.labels_of "fault.latency_us")
+    else []
+  in
+  let audit =
+    if !Obs.enabled then Some (Obs.Qos_audit.summarize ()) else None
+  in
   { light_latency = latency_of stats;
     heavy_mbit = float_of_int !heavy_bytes *. 8.0 /. Time.to_sec duration /. 1e6;
     light_cpu_ms = cpu_ms light_d.System.dom;
     heavy_cpu_ms = cpu_ms heavy_d.System.dom;
-    pager_cpu_ms = !pager_cpu () }
+    pager_cpu_ms = !pager_cpu ();
+    fault_hists; audit }
 
 let run ?(duration = Time.sec 180) ?(burst_pages = 1)
     ?(burst_period = Time.ms 10) () =
@@ -176,4 +195,13 @@ let print r =
     "~11ms writes and the pager burns its own CPU on their faults; under";
   print_endline
     "self-paging each domain pays for its own faults and the light client's";
-  print_endline "burst latency is isolated."
+  print_endline "burst latency is isolated.";
+  let obs_sections name c =
+    if c.fault_hists <> [] then begin
+      Report.heading (name ^ ": per-domain fault latency");
+      Report.hist_table c.fault_hists
+    end;
+    Report.audit_section (name ^ ": QoS audit") c.audit
+  in
+  obs_sections "self-paging" r.self_paging;
+  obs_sections "external pager" r.external_pager

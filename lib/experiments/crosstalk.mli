@@ -31,6 +31,11 @@ type config_result = {
   light_cpu_ms : float;   (** CPU consumed by the light domain *)
   heavy_cpu_ms : float;
   pager_cpu_ms : float;   (** 0 for self-paging *)
+  fault_hists : (string * Obs.Metrics.hist_view) list;
+      (** per-domain fault-latency histograms (us); empty when
+          observability was off during the run *)
+  audit : Obs.Qos_audit.summary option;
+      (** QoS-audit verdict; [None] when observability was off *)
 }
 
 type result = { self_paging : config_result; external_pager : config_result }

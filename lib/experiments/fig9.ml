@@ -10,11 +10,14 @@ type result = {
   pager10_mbit : float;
   pager20_mbit : float;
   isolation_error : float;
+  alone_audit : Obs.Qos_audit.summary option;
+  contended_audit : Obs.Qos_audit.summary option;
 }
 
 let fs_qos () = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) ()
 
 let run_one ~duration ~fs_depth ~with_pagers =
+  if !Obs.enabled then Obs.reset ();
   let sys = Harness.fresh_system () in
   let fs =
     match Fs_client.start sys ~name:"fs" ~qos:(fs_qos ()) ~depth:fs_depth () with
@@ -51,13 +54,16 @@ let run_one ~duration ~fs_depth ~with_pagers =
         *. 8.0 /. Time.to_sec duration /. 1e6)
       pagers
   in
-  (sustained, series, pager_rates)
+  let audit =
+    if !Obs.enabled then Some (Obs.Qos_audit.summarize ()) else None
+  in
+  (sustained, series, pager_rates, audit)
 
 let run ?(duration = Time.sec 120) ?(fs_depth = 16) () =
-  let alone_mbit, alone_series, _ =
+  let alone_mbit, alone_series, _, alone_audit =
     run_one ~duration ~fs_depth ~with_pagers:false
   in
-  let contended_mbit, contended_series, pager_rates =
+  let contended_mbit, contended_series, pager_rates, contended_audit =
     run_one ~duration ~fs_depth ~with_pagers:true
   in
   let pager10_mbit, pager20_mbit =
@@ -67,7 +73,8 @@ let run ?(duration = Time.sec 120) ?(fs_depth = 16) () =
   in
   { alone_mbit; contended_mbit; alone_series; contended_series;
     pager10_mbit; pager20_mbit;
-    isolation_error = Float.abs (contended_mbit -. alone_mbit) /. alone_mbit }
+    isolation_error = Float.abs (contended_mbit -. alone_mbit) /. alone_mbit;
+    alone_audit; contended_audit }
 
 let print_series r =
   Report.heading "Figure 9: file-system client bandwidth vs time";
@@ -87,4 +94,6 @@ let print r =
         Report.f2 r.pager10_mbit; Report.f2 r.pager20_mbit ] ];
   Printf.printf "\nisolation error: %.2f%% (paper: \"almost exactly the \
                  same\")\n"
-    (r.isolation_error *. 100.0)
+    (r.isolation_error *. 100.0);
+  Report.audit_section "fs alone: QoS audit" r.alone_audit;
+  Report.audit_section "fs + 2 pagers: QoS audit" r.contended_audit

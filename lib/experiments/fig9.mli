@@ -15,6 +15,9 @@ type result = {
   pager20_mbit : float;
   isolation_error : float;
       (** |contended - alone| / alone — ~0 means perfect isolation *)
+  alone_audit : Obs.Qos_audit.summary option;
+      (** QoS-audit verdict per run; [None] when observability was off *)
+  contended_audit : Obs.Qos_audit.summary option;
 }
 
 val run : ?duration:Engine.Time.span -> ?fs_depth:int -> unit -> result

@@ -79,3 +79,41 @@ let fopt = function None -> "n/a" | Some v -> Printf.sprintf "%.2f" v
 
 let f2 v = if Float.is_nan v then "nan" else Printf.sprintf "%.2f" v
 let f1 v = if Float.is_nan v then "nan" else Printf.sprintf "%.1f" v
+
+let hist_table ?(unit_ = "us") rows =
+  if rows = [] then print_endline "(no histogram data)"
+  else
+    table
+      ~header:
+        [ "label"; "count"; "mean " ^ unit_; "p50 " ^ unit_; "p95 " ^ unit_;
+          "max " ^ unit_ ]
+      (List.map
+         (fun (label, v) ->
+           [ label;
+             string_of_int v.Obs.Metrics.hv_count;
+             f1 v.Obs.Metrics.hv_mean;
+             f1 (Obs.Metrics.hist_quantile v 0.5);
+             f1 (Obs.Metrics.hist_quantile v 0.95);
+             f1 v.Obs.Metrics.hv_max ])
+         rows)
+
+let audit_section title = function
+  | None -> ()
+  | Some (s : Obs.Qos_audit.summary) ->
+    heading title;
+    Printf.printf "period boundaries audited: %d\n" s.audited_boundaries;
+    if s.violations = 0 then
+      print_endline "verdict: OK — no QoS contract violations detected"
+    else begin
+      Printf.printf "verdict: FLAGGED — %d violation(s)\n\n" s.violations;
+      table
+        ~header:[ "class"; "count" ]
+        (List.map (fun (c, n) -> [ c; string_of_int n ]) s.classes);
+      print_newline ();
+      print_endline "most recent:";
+      List.iter
+        (fun (t, v) ->
+          Format.printf "  [%a] %a@." Engine.Time.pp t
+            Obs.Qos_audit.pp_violation v)
+        s.recent
+    end

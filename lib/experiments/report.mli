@@ -20,3 +20,10 @@ val chart :
 (** Multi-series ASCII chart: each series is (label, [(x, y); ...]).
     Series are drawn with distinct marks ('*', 'o', '+', 'x', ...); the
     y-axis is scaled to the data, the x-axis to the common range. *)
+
+val hist_table : ?unit_:string -> (string * Obs.Metrics.hist_view) list -> unit
+(** One row per (label, histogram): count, mean, p50, p95, max. *)
+
+val audit_section : string -> Obs.Qos_audit.summary option -> unit
+(** Print a QoS-audit verdict section; prints nothing for [None] (the
+    run was not instrumented). *)

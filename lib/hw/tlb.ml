@@ -13,17 +13,27 @@ let create ?(entries = 64) () =
   { slots = Array.init entries (fun _ -> { asn = 0; vpn = empty_vpn; pte = Pte.absent });
     next = 0; hits = 0; misses = 0 }
 
+(* Observability: per-address-space hit/miss counters; label "asn<N>"
+   because the TLB knows domains only by their address-space number. *)
+let count_lookup ~asn ~hit =
+  if !Obs.enabled then
+    Obs.Metrics.inc
+      ~label:(Printf.sprintf "asn%d" asn)
+      (if hit then "tlb.hits" else "tlb.misses")
+
 let lookup t ~asn ~vpn =
   let n = Array.length t.slots in
   let rec scan i =
     if i >= n then begin
       t.misses <- t.misses + 1;
+      count_lookup ~asn ~hit:false;
       None
     end
     else begin
       let s = t.slots.(i) in
       if s.vpn = vpn && s.asn = asn then begin
         t.hits <- t.hits + 1;
+        count_lookup ~asn ~hit:true;
         Some s.pte
       end
       else scan (i + 1)

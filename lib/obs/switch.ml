@@ -1,0 +1,1 @@
+let enabled = ref false

@@ -1,0 +1,9 @@
+(** The global instrumentation toggle.
+
+    Kept in its own leaf module so that every layer (hw, sched, usbs,
+    core) can guard its hot-path hooks with a single flag read and so
+    that [Obs] can re-export it without a dependency cycle. *)
+
+val enabled : bool ref
+(** [false] by default: all instrumentation hooks must be no-ops (one
+    flag read) so that tier-1 timings are unaffected. *)

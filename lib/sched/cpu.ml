@@ -6,6 +6,10 @@ type client = {
   edf : Edf.client;
   pending : request Queue.t;
   mutable live : bool;
+  (* Instant the pending queue last went non-empty; None while empty.
+     The QoS auditor treats a client as backlogged over a period only
+     when this predates the period's start. *)
+  mutable backlogged_since : Time.t option;
 }
 
 type t = {
@@ -19,18 +23,40 @@ type t = {
   slack_quantum : Time.span;
 }
 
+let find_member t e =
+  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+
+(* Feed the QoS auditor at every period boundary: contracted slice vs
+   what was actually consumed, and whether the client spent the whole
+   period with work queued. *)
+let audit_boundary t e ~unused ~boundary ~grants:_ =
+  if !Obs.enabled then begin
+    match find_member t e with
+    | None -> ()
+    | Some c ->
+      let period_start = Time.add boundary (-e.Edf.period) in
+      let backlogged =
+        match c.backlogged_since with
+        | Some since -> since <= period_start
+        | None -> false
+      in
+      Obs.Qos_audit.cpu_boundary ~now:boundary ~dom:e.Edf.cname
+        ~entitled:e.Edf.slice ~got:(e.Edf.slice - unused) ~backlogged
+  end
+
 let create sim =
-  { sim; edf = Edf.create (); members = []; kick = Sync.Waitq.create ();
-    running = false; slack_quantum = Time.ms 1 }
+  let t =
+    { sim; edf = Edf.create (); members = []; kick = Sync.Waitq.create ();
+      running = false; slack_quantum = Time.ms 1 }
+  in
+  Edf.set_boundary_hook t.edf (audit_boundary t);
+  t
 
 let name (c : client) = c.edf.Edf.cname
 let used (c : client) = c.edf.Edf.used_total
 let edf_client (c : client) = c.edf
 
 let has_pending (c : client) = not (Queue.is_empty c.pending)
-
-let find_member t e =
-  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
 
 let rec scheduler_loop t =
   let now = Sim.now t.sim in
@@ -79,6 +105,7 @@ and run_chunk t e ~slack =
     req.left <- req.left - chunk;
     if req.left <= 0 then begin
       ignore (Queue.pop c.pending);
+      if Queue.is_empty c.pending then c.backlogged_since <- None;
       req.wake ()
     end;
     scheduler_loop t
@@ -93,7 +120,10 @@ let admit t ~name ~period ~slice ?(extra = true) () =
   match Edf.admit t.edf ~name ~period ~slice ~extra ~now:(Sim.now t.sim) () with
   | Error _ as e -> e
   | Ok e ->
-    let c = { edf = e; pending = Queue.create (); live = true } in
+    let c =
+      { edf = e; pending = Queue.create (); live = true;
+        backlogged_since = None }
+    in
     t.members <- c :: t.members;
     ensure_running t;
     Ok c
@@ -109,6 +139,8 @@ let consume t (c : client) span =
   if span > 0 then begin
     if not c.live then failwith "Cpu.consume: client removed";
     Proc.suspend (fun wake ->
+        if Queue.is_empty c.pending then
+          c.backlogged_since <- Some (Sim.now t.sim);
         Queue.add { left = span; wake = (fun () -> wake ()) } c.pending;
         Sync.Waitq.broadcast t.kick)
   end

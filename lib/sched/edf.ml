@@ -16,10 +16,15 @@ type t = {
   mutable members : client list;
   mutable next_id : int;
   rollover : bool;
+  mutable on_boundary :
+    (client -> unused:Time.span -> boundary:Time.t -> grants:int -> unit)
+    option;
 }
 
 let create ?(rollover = true) () =
-  { members = []; next_id = 0; rollover }
+  { members = []; next_id = 0; rollover; on_boundary = None }
+
+let set_boundary_hook t f = t.on_boundary <- Some f
 
 let clients t = t.members
 
@@ -51,6 +56,8 @@ let remove t c = t.members <- List.filter (fun c' -> c'.id <> c.id) t.members
 
 let replenish t ~now c =
   let grants = ref 0 in
+  let first_boundary = c.deadline in
+  let unused = max 0 c.remaining in
   while c.deadline <= now do
     incr grants;
     let carry = if t.rollover && c.remaining < 0 then c.remaining else 0 in
@@ -60,6 +67,11 @@ let replenish t ~now c =
   (* A client that slept across several periods does not stack
      allocations: each boundary above reset [remaining] to at most one
      slice, and the deadline caught up one period at a time. *)
+  if !grants > 0 then begin
+    match t.on_boundary with
+    | Some f -> f c ~unused ~boundary:first_boundary ~grants:!grants
+    | None -> ()
+  end;
   !grants
 
 let replenish_all t ~now =

@@ -42,6 +42,17 @@ val clients : t -> client list
 
 val utilisation : t -> float
 
+val set_boundary_hook :
+  t ->
+  (client -> unused:Time.span -> boundary:Time.t -> grants:int -> unit) ->
+  unit
+(** Observe period boundaries: the hook fires from {!replenish}
+    whenever at least one boundary was crossed, with the first crossed
+    deadline and the allocation left unspent at it ([unused], clamped
+    at 0 — a roll-over deficit reports as 0). Used by the
+    observability layer's QoS auditor; at most one hook per
+    scheduler. *)
+
 val replenish : t -> now:Time.t -> client -> int
 (** Apply every period boundary at or before [now]; returns the number
     of new allocations granted (0 if the deadline is still ahead). A

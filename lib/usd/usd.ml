@@ -31,6 +31,9 @@ type client = {
   mutable txns : int;
   mutable bytes : int;
   mutable lax_used : Time.span;
+  (* Instant the channel last went non-empty; None while empty. Used
+     by the QoS auditor's backlogged-for-a-whole-period test. *)
+  mutable backlogged_since : Time.t option;
 }
 
 type t = {
@@ -44,10 +47,33 @@ type t = {
   mutable running : bool;
 }
 
+let find_member t e =
+  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+
+(* Feed the QoS auditor at stream period boundaries (cf. Cpu). *)
+let audit_boundary t e ~unused ~boundary ~grants:_ =
+  if !Obs.enabled then begin
+    match find_member t e with
+    | None -> ()
+    | Some c ->
+      let period_start = Time.add boundary (-e.Edf.period) in
+      let backlogged =
+        match c.backlogged_since with
+        | Some since -> since <= period_start
+        | None -> false
+      in
+      Obs.Qos_audit.usd_boundary ~now:boundary ~stream:e.Edf.cname
+        ~entitled:e.Edf.slice ~got:(e.Edf.slice - unused) ~backlogged
+  end
+
 let create ?(rollover = true) ?(laxity_enabled = true) sim dm =
-  { sim; dm; edf = Edf.create ~rollover (); members = [];
-    kick = Sync.Waitq.create (); events = Trace.create ();
-    laxity_enabled; running = false }
+  let t =
+    { sim; dm; edf = Edf.create ~rollover (); members = [];
+      kick = Sync.Waitq.create (); events = Trace.create ();
+      laxity_enabled; running = false }
+  in
+  Edf.set_boundary_hook t.edf (audit_boundary t);
+  t
 
 let client_name (c : client) = c.edf.Edf.cname
 let qos (c : client) = c.cqos
@@ -59,9 +85,6 @@ let lax_time (c : client) = c.lax_used
 let trace t = t.events
 let disk t = t.dm
 let utilisation t = Edf.utilisation t.edf
-
-let find_member t e =
-  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
 
 let has_pending (c : client) = not (Io_channel.is_empty c.channel)
 
@@ -82,6 +105,7 @@ let replenish t ~now =
 
 let execute_txn t (c : client) ~slack =
   let req = Io_channel.recv c.channel in
+  if Io_channel.is_empty c.channel then c.backlogged_since <- None;
   let now = Sim.now t.sim in
   let dur =
     Disk_model.service t.dm ~now
@@ -101,6 +125,15 @@ let execute_txn t (c : client) ~slack =
             nblocks = req.nblocks; dur }
   in
   Trace.record t.events (Sim.now t.sim) ev;
+  if !Obs.enabled then begin
+    let label = client_name c in
+    let nbytes =
+      req.nblocks * (Disk_model.params t.dm).Disk_params.block_size
+    in
+    Obs.Metrics.add ~label "usd.bytes" nbytes;
+    Obs.Metrics.inc ~label (if slack then "usd.slack_txns" else "usd.txns");
+    Obs.Metrics.observe ~label "usd.txn_us" (float_of_int dur /. 1e3)
+  end;
   Sync.Ivar.fill req.completion ()
 
 (* The earliest-deadline runnable client has no transaction pending:
@@ -126,6 +159,8 @@ let lax_wait t (c : client) =
       c.lax_used <- c.lax_used + elapsed;
       Trace.record t.events (Sim.now t.sim)
         (Lax { client = client_name c; dur = elapsed });
+      if !Obs.enabled then
+        Obs.Metrics.add ~label:(client_name c) "usd.lax_ns" elapsed;
       if c.lax_left <= 0 then c.idled <- true
     end
   end
@@ -183,7 +218,7 @@ let admit t ~name ~qos ?(channel_depth = 64) () =
     let c =
       { edf = e; cqos = qos; channel = Io_channel.create ~depth:channel_depth;
         lax_left = qos.Qos.laxity; idled = false; live = true; txns = 0;
-        bytes = 0; lax_used = 0 }
+        bytes = 0; lax_used = 0; backlogged_since = None }
     in
     t.members <- t.members @ [ c ];
     ensure_running t;
@@ -199,6 +234,8 @@ let retire t (c : client) =
 let submit t (c : client) op ~lba ~nblocks =
   if not c.live then failwith "Usd.submit: client retired";
   let completion = Sync.Ivar.create () in
+  if Io_channel.is_empty c.channel then
+    c.backlogged_since <- Some (Sim.now t.sim);
   Io_channel.send c.channel { op; lba; nblocks; completion };
   Sync.Waitq.broadcast t.kick;
   completion

@@ -293,6 +293,30 @@ let stats_percentile () =
   Alcotest.(check (float 0.5)) "p95" 95.0 (Stats.percentile s 95.0);
   Alcotest.(check (float 0.0)) "p100" 100.0 (Stats.percentile s 100.0)
 
+let stats_percentile_edges () =
+  let s = Stats.create ~keep_samples:true () in
+  List.iter (Stats.add s) [ 7.0; 3.0; 5.0 ];
+  Alcotest.(check (float 0.0)) "p0 is min" 3.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 0.0)) "p100 is max" 7.0 (Stats.percentile s 100.0);
+  let one = Stats.create ~keep_samples:true () in
+  Stats.add one 42.0;
+  Alcotest.(check (float 0.0)) "single sample p0" 42.0 (Stats.percentile one 0.0);
+  Alcotest.(check (float 0.0)) "single sample p50" 42.0
+    (Stats.percentile one 50.0);
+  Alcotest.(check (float 0.0)) "single sample p100" 42.0
+    (Stats.percentile one 100.0);
+  let empty = Stats.create ~keep_samples:true () in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.percentile empty 50.0));
+  let raises p =
+    match Stats.percentile s p with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "p < 0 rejected" true (raises (-1.0));
+  Alcotest.(check bool) "p > 100 rejected" true (raises 100.5);
+  Alcotest.(check bool) "nan p rejected" true (raises Float.nan)
+
 let stats_mean_matches_oracle =
   QCheck.Test.make ~name:"stats mean matches naive computation" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0))
@@ -369,6 +393,7 @@ let suite =
     ( "engine.stats",
       [ Alcotest.test_case "moments" `Quick stats_moments;
         Alcotest.test_case "percentiles" `Quick stats_percentile;
+        Alcotest.test_case "percentile edge cases" `Quick stats_percentile_edges;
         qtest stats_mean_matches_oracle;
         Alcotest.test_case "series mean_after" `Quick series_mean_after ] );
     ( "engine.trace",

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "nemesis-self-paging"
     (Test_engine.suite @ Test_hw.suite @ Test_disk.suite @ Test_sched.suite
-   @ Test_usbs.suite @ Test_usnet.suite @ Test_core_vm.suite
-   @ Test_domains.suite @ Test_runtime.suite @ Test_extensions.suite
-   @ Test_properties.suite @ Test_stress.suite @ Test_experiments.suite)
+   @ Test_usbs.suite @ Test_usnet.suite @ Test_obs.suite
+   @ Test_core_vm.suite @ Test_domains.suite @ Test_runtime.suite
+   @ Test_extensions.suite @ Test_properties.suite @ Test_stress.suite
+   @ Test_experiments.suite)
