@@ -1,4 +1,4 @@
-.PHONY: all build test bench fmt check clean
+.PHONY: all build test bench bench-policy smoke fmt check clean
 
 all: build
 
@@ -11,6 +11,16 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Regenerate the machine-readable policy-comparison record.
+bench-policy:
+	dune exec bench/main.exe -- policy
+
+# Quick end-to-end run of the policy-compare figure (two contrasting
+# policies, short duration).
+smoke:
+	dune exec bin/nemesis_sim.exe -- policy-compare -d 15 \
+		--policies fifo,fifo+ra8,clock
+
 # Formatting gate: only enforced when ocamlformat is installed (the
 # default container does not ship it); the build and tests always run.
 fmt:
@@ -20,7 +30,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: fmt build test
+check: fmt build test smoke
 	@echo "check OK"
 
 clean:

@@ -285,6 +285,26 @@ let run_experiments () =
   Experiments.Ablations.print_revoke (Experiments.Ablations.run_revoke ());
   flush stdout
 
+(* --- Part 3: the policy-compare figure ----------------------------- *)
+
+(* Runs the paging figure once per (policy x pattern) cell and leaves a
+   machine-readable record next to the text report, so policy
+   regressions show up as a JSON diff. *)
+let run_policy () =
+  let r = Experiments.Policy_compare.run ~duration:(Time.sec 60) () in
+  Experiments.Policy_compare.print r;
+  flush stdout;
+  let path = "BENCH_policy.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Experiments.Policy_compare.to_json r));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
-  run_bechamel ();
-  run_experiments ()
+  match Sys.argv with
+  | [| _; "policy" |] -> run_policy ()
+  | _ ->
+    run_bechamel ();
+    run_experiments ();
+    run_policy ()

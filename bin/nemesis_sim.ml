@@ -6,6 +6,7 @@
      fig8     paging out
      fig9     file-system isolation
      crosstalk external pager vs self-paging (Figure 2, quantified)
+     policy-compare  paging figure per paging policy (§5)
      ablate   design-choice ablations
      all      everything *)
 
@@ -177,6 +178,47 @@ let ablate_cmd =
   Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations (DESIGN.md)")
     Term.(const run $ obs_args $ duration_arg 120 $ which)
 
+let policy_compare_cmd =
+  let json =
+    let doc = "Also write the comparison matrix as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let policies =
+    let doc =
+      "Comma-separated policy specs to compare (e.g. \
+       fifo,fifo+ra8,clock,lru,wsclock:32,fifo+wb8); default: the \
+       built-in presets."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "policies" ] ~docv:"SPECS" ~doc)
+  in
+  let run obs d json policies =
+    let policies =
+      Option.map
+        (List.map (fun s ->
+             match Policy.Spec.of_string s with
+             | Ok p -> p
+             | Error e ->
+               Printf.eprintf "nemesis-sim: %s\n" e;
+               exit 2))
+        policies
+    in
+    with_obs obs (fun () ->
+        let r = Policy_compare.run ~duration:(sec d) ?policies () in
+        Policy_compare.print r;
+        Option.iter
+          (fun path -> write_file path (Policy_compare.to_json r))
+          json)
+  in
+  Cmd.v
+    (Cmd.info "policy-compare"
+       ~doc:
+         "Paging figure per replacement/read-ahead/write-behind policy \
+          (paper section 5: per-domain policy choice)")
+    Term.(const run $ obs_args $ duration_arg 60 $ json $ policies)
+
 let netiso_cmd =
   let run obs d =
     with_obs obs (fun () ->
@@ -223,6 +265,6 @@ let main =
   in
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
-      ablate_cmd; all_cmd ]
+      policy_compare_cmd; ablate_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

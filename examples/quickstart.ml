@@ -39,7 +39,7 @@ let () =
          let qos =
            Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 50) ()
          in
-         let _driver, info =
+         let _driver, h =
            match
              System.bind_paged d ~initial_frames:2
                ~swap_bytes:(16 * 1024 * 1024) ~qos stretch ()
@@ -55,7 +55,7 @@ let () =
            Domains.access d.System.dom (Stretch.page_base stretch i) `Write
          done;
          let dt = Time.diff (Sim.now sim) t0 in
-         let st = info () in
+         let st = Sd_paged.info h in
          Format.printf
            "first pass (demand-zero):    %a  (zeros=%d evictions=%d)@."
            Time.pp dt st.Sd_paged.demand_zeros st.Sd_paged.evictions;
@@ -64,7 +64,7 @@ let () =
            Domains.access d.System.dom (Stretch.page_base stretch i) `Read
          done;
          let dt = Time.diff (Sim.now sim) t0 in
-         let st = info () in
+         let st = Sd_paged.info h in
          Format.printf
            "second pass (page in/out):   %a  (page-ins=%d page-outs=%d)@."
            Time.pp dt st.Sd_paged.page_ins st.Sd_paged.page_outs;

@@ -1,8 +1,24 @@
 open Hw
 
+(* Residency state of one page of the stretch.
+
+   [dirty_latched] accumulates dirty bits lost to reference-sampling:
+   policies that clear the referenced bit do so by unmap+remap, which
+   discards the PTE's dirty bit, so it is latched here. [via_prefetch]
+   marks a page brought in by read-ahead whose first reference has not
+   been observed yet — resolved to a hit or a waste at the first
+   reference-sample or at eviction. *)
 type pstate =
   | Fresh  (* no contents yet: demand-zero on touch *)
-  | Resident of { pfn : int; clean_on_disk : bool }
+  | Resident of {
+      pfn : int;
+      clean_on_disk : bool;
+      mutable dirty_latched : bool;
+      mutable via_prefetch : bool;
+    }
+  | Wb_pending of { pfn : int }
+      (* evicted dirty, parked in the write-behind buffer: the frame
+         still holds the only up-to-date copy until the flush *)
   | Swapped
 
 type info = {
@@ -11,24 +27,34 @@ type info = {
   demand_zeros : int;
   evictions : int;
   prefetched : int;
+  prefetch_hits : int;
+  prefetch_waste : int;
+  wb_flushes : int;
+  rescues : int;
 }
 
 type state = {
   env : Stretch_driver.env;
   swap : Usbs.Sfs.swapfile;
   forgetful : bool;
-  readahead : int;
+  spec : Policy.Spec.t;
+  repl : Policy.Replacement.t;
+  pf : Policy.Prefetch.t;
+  mutable wb : Policy.Writeback.t;
   bitmap : Bloks.t;
   mutable stretch : Stretch.t option;
   mutable pages : pstate array;       (* per page of the stretch *)
   mutable blok_of_page : int array;   (* -1 = none assigned *)
   mutable pool : int list;            (* owned, unmapped frames *)
-  resident_fifo : int Queue.t;        (* page indices, map order *)
+  mutable tick : int;                 (* per-domain virtual time *)
   mutable page_ins : int;
   mutable page_outs : int;
   mutable demand_zeros : int;
   mutable evictions : int;
   mutable prefetched : int;
+  mutable prefetch_hits : int;
+  mutable prefetch_waste : int;
+  mutable rescues : int;
 }
 
 let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
@@ -46,6 +72,14 @@ let span_start st ?parent sname =
 let span_finish = function
   | Some s -> Obs.Span.finish ~now:(Engine.Sim.now (Engine.Proc.current_sim ())) s
   | None -> ()
+
+let metric_inc st name =
+  if !Obs.enabled then
+    Obs.Metrics.inc ~label:st.env.Stretch_driver.domain_name name
+
+let metric_add st name n =
+  if n > 0 && !Obs.enabled then
+    Obs.Metrics.add ~label:st.env.Stretch_driver.domain_name name n
 
 let the_stretch st =
   match st.stretch with
@@ -77,14 +111,56 @@ let owns_fault st (fault : Fault.t) =
   | Some sid, Some s -> s.Stretch.sid = sid
   | _ -> false
 
+(* A prefetched page's fate is decided at the first point we observe
+   its referenced bit (a reference-sampling pass or its eviction). *)
+let settle_prefetch st p referenced =
+  match st.pages.(p) with
+  | Resident r when r.via_prefetch && referenced ->
+    r.via_prefetch <- false;
+    st.prefetch_hits <- st.prefetch_hits + 1;
+    metric_inc st "policy.prefetch_hit"
+  | _ -> ()
+
+(* The window through which replacement policies see the hardware:
+   referenced bits live in the PTEs; clearing one is the user-level
+   unmap+remap dance (which re-arms FOR/FOW), charged to the domain. *)
+let make_probe st =
+  let env = st.env in
+  { Policy.Replacement.resident =
+      (fun p ->
+        match st.pages.(p) with Resident _ -> true | _ -> false);
+    referenced =
+      (fun p ->
+        match st.pages.(p) with
+        | Resident _ ->
+          let va = Stretch.page_base (the_stretch st) p in
+          let pte, cost = Translation.trans env.Stretch_driver.translation ~va in
+          env.Stretch_driver.consume_cpu cost;
+          Pte.referenced pte
+        | _ -> false);
+    clear_referenced =
+      (fun p ->
+        match st.pages.(p) with
+        | Resident r ->
+          let va = Stretch.page_base (the_stretch st) p in
+          let pte = Stretch_driver.unmap_page env va in
+          if Pte.dirty pte then r.dirty_latched <- true;
+          settle_prefetch st p (Pte.referenced pte);
+          Stretch_driver.map_page env va ~pfn:r.pfn
+        | _ -> ()) }
+
 (* Map [page] into [pfn] as a demand-zeroed page. *)
 let install_zero st page pfn =
   let env = st.env in
   let va = Stretch.page_base (the_stretch st) page in
   Stretch_driver.map_page env va ~pfn;
   env.Stretch_driver.consume_cpu env.Stretch_driver.cost.Cost.page_zero;
-  st.pages.(page) <- Resident { pfn; clean_on_disk = false };
-  Queue.add page st.resident_fifo;
+  st.pages.(page) <-
+    Resident
+      { pfn; clean_on_disk = false; dirty_latched = false;
+        via_prefetch = false };
+  st.repl.Policy.Replacement.insert page;
+  st.tick <- st.tick + 1;
   Frame_stack.move_to_bottom (stack st) pfn;
   st.demand_zeros <- st.demand_zeros + 1
 
@@ -98,36 +174,100 @@ let blok_for st page =
       b
     | None -> failwith "paged driver: swap space exhausted"
 
-(* Evict the oldest resident page, cleaning it to the USBS first if
-   needed, and hand back its frame. Blocking (disk I/O): worker-thread
-   context only. *)
+let write_now st blok =
+  st.env.Stretch_driver.assert_idc_allowed "USBS write";
+  let sp = span_start st "usd.write" in
+  Usbs.Sfs.write_page st.swap ~page_index:blok;
+  span_finish sp;
+  st.page_outs <- st.page_outs + 1;
+  metric_inc st "policy.page_out"
+
+(* Issue every parked write-behind entry (coalesced by the buffer into
+   contiguous USD transactions) and return the freed frames to the
+   pool. Blocking (disk I/O): worker-thread context only. *)
+let flush_wb st =
+  if Policy.Writeback.pending st.wb > 0 then begin
+    st.env.Stretch_driver.assert_idc_allowed "USBS write";
+    let released = Policy.Writeback.flush st.wb in
+    List.iter
+      (fun (page, frame) ->
+        st.pages.(page) <- (if st.forgetful then Fresh else Swapped);
+        st.pool <- frame :: st.pool)
+      released
+  end
+
+type evicted = No_victim | Freed of int | Parked
+
+(* Evict the policy's victim, cleaning it to the USBS first if needed
+   (immediately, or by parking it in the write-behind buffer), and
+   hand back its frame if one came free. Blocking (disk I/O):
+   worker-thread context only. *)
 let evict_one st =
   let env = st.env in
-  match Queue.take_opt st.resident_fifo with
-  | None -> None
+  match st.repl.Policy.Replacement.victim (make_probe st) with
+  | None -> No_victim
   | Some victim ->
     (match st.pages.(victim) with
-    | Resident { pfn; clean_on_disk } ->
+    | Resident r ->
       let va = Stretch.page_base (the_stretch st) victim in
       let pte = Stretch_driver.unmap_page env va in
-      let dirty = Pte.dirty pte in
-      let must_clean = st.forgetful || dirty || not clean_on_disk in
+      settle_prefetch st victim (Pte.referenced pte);
+      (match st.pages.(victim) with
+      | Resident { via_prefetch = true; _ } ->
+        st.prefetch_waste <- st.prefetch_waste + 1;
+        metric_inc st "policy.prefetch_waste"
+      | _ -> ());
+      let dirty = Pte.dirty pte || r.dirty_latched in
+      let must_clean = st.forgetful || dirty || not r.clean_on_disk in
+      metric_inc st "policy.evict";
       if must_clean then begin
-        env.Stretch_driver.assert_idc_allowed "USBS write";
         let blok = blok_for st victim in
-        let sp = span_start st "usd.write" in
-        Usbs.Sfs.write_page st.swap ~page_index:blok;
-        span_finish sp;
-        st.page_outs <- st.page_outs + 1
-      end;
-      st.evictions <- st.evictions + 1;
-      (* The paging-out experiment's driver forgets the disk copy. *)
-      if st.forgetful then st.pages.(victim) <- Fresh
-      else st.pages.(victim) <- Swapped;
-      Some pfn
-    | Fresh | Swapped ->
-      (* Stale FIFO entry (page already evicted via revocation). *)
-      None)
+        if Policy.Writeback.enabled st.wb then begin
+          st.evictions <- st.evictions + 1;
+          st.pages.(victim) <- Wb_pending { pfn = r.pfn };
+          Policy.Writeback.enqueue st.wb ~page:victim ~blok ~frame:r.pfn;
+          Parked
+        end
+        else begin
+          write_now st blok;
+          st.evictions <- st.evictions + 1;
+          (* The paging-out experiment's driver forgets the disk copy. *)
+          st.pages.(victim) <- (if st.forgetful then Fresh else Swapped);
+          Freed r.pfn
+        end
+      end
+      else begin
+        st.evictions <- st.evictions + 1;
+        st.pages.(victim) <- Swapped;
+        Freed r.pfn
+      end
+    | Fresh | Swapped | Wb_pending _ ->
+      (* The policy's probe guarantees victims are resident. *)
+      No_victim)
+
+(* Read-your-writes fast path: a fault on a parked page cancels the
+   pending write and remaps the very frame that holds the data — no
+   disk I/O. The page is still dirty, so it stays clean_on_disk:false
+   and will be cleaned again on its next eviction. *)
+let try_rescue st page =
+  match st.pages.(page) with
+  | Wb_pending { pfn } ->
+    (match Policy.Writeback.rescue st.wb ~page with
+    | Some _ ->
+      let va = Stretch.page_base (the_stretch st) page in
+      Stretch_driver.map_page st.env va ~pfn;
+      st.pages.(page) <-
+        Resident
+          { pfn; clean_on_disk = false; dirty_latched = true;
+            via_prefetch = false };
+      st.repl.Policy.Replacement.insert page;
+      st.tick <- st.tick + 1;
+      Frame_stack.move_to_bottom (stack st) pfn;
+      st.rescues <- st.rescues + 1;
+      metric_inc st "policy.rescue";
+      true
+    | None -> false)
+  | _ -> false
 
 let fast st (fault : Fault.t) =
   if not (owns_fault st fault) then
@@ -142,6 +282,9 @@ let fast st (fault : Fault.t) =
       | Resident _ ->
         (* Raced with another thread's fault on the same page. *)
         Stretch_driver.Success
+      | Wb_pending _ ->
+        if try_rescue st page then Stretch_driver.Success
+        else Stretch_driver.Retry
       | Swapped -> Stretch_driver.Retry (* needs disk: worker path *)
       | Fresh ->
         (match take_pool st with
@@ -150,7 +293,9 @@ let fast st (fault : Fault.t) =
           Stretch_driver.Success
         | None -> Stretch_driver.Retry))
 
-(* Get a frame by any means: pool, allocator, or eviction. *)
+(* Get a frame by any means: pool, allocator, eviction — flushing the
+   write-behind buffer when that is what stands between us and a free
+   frame. *)
 let obtain_frame st =
   let env = st.env in
   match take_pool st with
@@ -163,10 +308,100 @@ let obtain_frame st =
     | None ->
       let rec try_evict () =
         match evict_one st with
-        | Some pfn -> Some pfn
-        | None -> if Queue.is_empty st.resident_fifo then None else try_evict ()
+        | Freed pfn -> Some pfn
+        | Parked ->
+          if Policy.Writeback.full st.wb then begin
+            flush_wb st;
+            match take_pool st with
+            | Some pfn -> Some pfn
+            | None -> try_evict ()
+          end
+          else try_evict ()
+        | No_victim ->
+          if Policy.Writeback.pending st.wb > 0 then begin
+            flush_wb st;
+            take_pool st
+          end
+          else None
       in
       try_evict ())
+
+(* A frame for read-ahead only: spare frames first, else recycle a
+   victim (for a streaming reader it is clean, so this costs no disk
+   write) — but never flush the write-behind buffer just to prefetch. *)
+let prefetch_frame st =
+  match take_pool st with
+  | Some f -> Some f
+  | None -> (match evict_one st with Freed f -> Some f | _ -> None)
+
+let is_swapped st p =
+  p >= 0 && p < Array.length st.pages
+  && (match st.pages.(p) with Swapped -> true | _ -> false)
+
+(* Fetch left-over read-ahead candidates that are not contiguous with
+   the demand run in the virtual address space but still coalesce on
+   disk (a strided writer gets consecutive bloks for strided pages).
+   Bounded: at most [max_extra_txns] extra transactions, spare frames
+   only. *)
+let max_extra_txns = 2
+
+let fetch_extras st parent extras =
+  let env = st.env in
+  let extras =
+    List.filter (fun p -> is_swapped st p && st.blok_of_page.(p) >= 0) extras
+  in
+  let by_blok =
+    List.sort
+      (fun a b -> compare st.blok_of_page.(a) st.blok_of_page.(b))
+      extras
+  in
+  let chains =
+    List.fold_left
+      (fun acc p ->
+        match acc with
+        | (q :: _ as chain) :: rest
+          when st.blok_of_page.(p) = st.blok_of_page.(q) + 1 ->
+          (p :: chain) :: rest
+        | _ -> [ p ] :: acc)
+      [] by_blok
+  in
+  let chains = List.rev_map List.rev chains in
+  let txns = ref 0 in
+  List.iter
+    (fun chain ->
+      if !txns < max_extra_txns then begin
+        (* Take pool frames for a prefix of the chain. *)
+        let rec claim acc = function
+          | [] -> List.rev acc
+          | p :: rest ->
+            (match take_pool st with
+            | Some f -> claim ((p, f) :: acc) rest
+            | None -> List.rev acc)
+        in
+        match claim [] chain with
+        | [] -> ()
+        | ((first, _) :: _ as got) ->
+          incr txns;
+          let sp = span_start st ?parent "usd.read" in
+          Usbs.Sfs.read_pages st.swap
+            ~page_index:st.blok_of_page.(first)
+            ~npages:(List.length got);
+          span_finish sp;
+          List.iter
+            (fun (p, f) ->
+              let va = Stretch.page_base (the_stretch st) p in
+              Stretch_driver.map_page env va ~pfn:f;
+              st.pages.(p) <-
+                Resident
+                  { pfn = f; clean_on_disk = true; dirty_latched = false;
+                    via_prefetch = true };
+              st.repl.Policy.Replacement.insert p;
+              Frame_stack.move_to_bottom (stack st) f)
+            got;
+          st.prefetched <- st.prefetched + List.length got;
+          metric_add st "policy.prefetched" (List.length got)
+      end)
+    chains
 
 let full st (fault : Fault.t) =
   if not (owns_fault st fault) then
@@ -180,6 +415,9 @@ let full st (fault : Fault.t) =
       let page = Stretch.page_index (the_stretch st) fault.va in
       (match st.pages.(page) with
       | Resident _ -> Stretch_driver.Success
+      | Wb_pending _ ->
+        if try_rescue st page then Stretch_driver.Success
+        else Stretch_driver.Failure "write-behind entry lost"
       | Fresh ->
         (match obtain_frame st with
         | Some pfn ->
@@ -187,42 +425,55 @@ let full st (fault : Fault.t) =
           Stretch_driver.Success
         | None -> Stretch_driver.Failure "no frame obtainable")
       | Swapped ->
+        Policy.Prefetch.record_fault st.pf page;
         (match obtain_frame st with
         | Some pfn ->
           env.Stretch_driver.assert_idc_allowed "USBS read";
-          (* Stream paging: extend the read to a run of consecutive
+          (* Read-ahead: extend the read to a run of consecutive
              swapped pages whose bloks are contiguous on disk, as far
              as spare frames allow — one bigger disk transaction
-             instead of several small ones. *)
+             instead of several small ones. The policy's prefetch
+             engine proposes the candidates; [Stream] mode reproduces
+             the seed's fixed-window behaviour exactly. *)
           let npages = Array.length st.pages in
           let blok0 = st.blok_of_page.(page) in
           assert (blok0 >= 0);
+          let stream_mode =
+            match Policy.Prefetch.mode st.pf with
+            | Policy.Prefetch.Stream _ -> true
+            | _ -> false
+          in
+          let candidates = Policy.Prefetch.plan st.pf ~page in
           let frames = ref [ (page, pfn) ] in
           let run = ref 1 in
-          let continue_ = ref (st.readahead > 0) in
-          while !continue_ && !run <= st.readahead do
-            let p = page + !run in
-            if
-              p < npages
-              && st.pages.(p) = Swapped
-              && st.blok_of_page.(p) = blok0 + !run
-            then begin
-              (* Spare frames first, else recycle the oldest resident
-                 (for a streaming reader it is clean, so this costs no
-                 disk write; FIFO order keeps the current run safe). *)
-              let frame =
-                match take_pool st with
-                | Some f -> Some f
-                | None -> evict_one st
-              in
-              match frame with
-              | Some f ->
-                frames := (p, f) :: !frames;
-                incr run
-              | None -> continue_ := false
-            end
-            else continue_ := false
-          done;
+          let extras = ref [] in
+          let stop = ref false in
+          List.iter
+            (fun p ->
+              if not !stop then
+                if
+                  p = page + !run
+                  && p < npages
+                  && is_swapped st p
+                  && st.blok_of_page.(p) = blok0 + !run
+                then begin
+                  match prefetch_frame st with
+                  | Some f ->
+                    frames := (p, f) :: !frames;
+                    incr run
+                  | None -> stop := true
+                end
+                else if stream_mode then
+                  (* The seed's loop stops at the first break in the
+                     run; keep that bit-for-bit. *)
+                  stop := true
+                else if
+                  is_swapped st p
+                  && st.blok_of_page.(p) >= 0
+                  && not (List.mem_assoc p !frames)
+                  && not (List.mem p !extras)
+                then extras := p :: !extras)
+            candidates;
           let sp = span_start st ?parent:fault.Fault.span "usd.read" in
           Usbs.Sfs.read_pages st.swap ~page_index:blok0 ~npages:!run;
           span_finish sp;
@@ -231,46 +482,146 @@ let full st (fault : Fault.t) =
             (fun (p, f) ->
               let va = Stretch.page_base (the_stretch st) p in
               Stretch_driver.map_page env va ~pfn:f;
-              st.pages.(p) <- Resident { pfn = f; clean_on_disk = true };
-              Queue.add p st.resident_fifo;
+              st.pages.(p) <-
+                Resident
+                  { pfn = f; clean_on_disk = true; dirty_latched = false;
+                    via_prefetch = p <> page };
+              st.repl.Policy.Replacement.insert p;
               Frame_stack.move_to_bottom (stack st) f)
             (List.rev !frames);
           span_finish mp;
-          st.page_ins <- st.page_ins + !run;
+          st.tick <- st.tick + 1;
+          st.page_ins <- st.page_ins + 1;
           st.prefetched <- st.prefetched + (!run - 1);
+          metric_inc st "policy.page_in";
+          metric_add st "policy.prefetched" (!run - 1);
+          fetch_extras st fault.Fault.span (List.rev !extras);
           Stretch_driver.Success
         | None -> Stretch_driver.Failure "no frame obtainable"))
 
-(* Revocation: expose pool frames, then clean and evict residents. *)
+(* Revocation: expose pool frames, then flush parked writes and evict
+   residents (cleaning dirty pages first). *)
 let relinquish st ~want =
   let given = ref 0 in
-  while !given < want && st.pool <> [] do
-    match take_pool st with
-    | Some pfn ->
-      Frame_stack.move_to_top (stack st) pfn;
-      incr given
-    | None -> ()
-  done;
+  let give_pool () =
+    while !given < want && st.pool <> [] do
+      match take_pool st with
+      | Some pfn ->
+        Frame_stack.move_to_top (stack st) pfn;
+        incr given
+      | None -> ()
+    done
+  in
+  give_pool ();
   let continue_ = ref true in
   while !given < want && !continue_ do
     match evict_one st with
-    | Some pfn ->
+    | Freed pfn ->
       Frame_stack.move_to_top (stack st) pfn;
       incr given
-    | None -> if Queue.is_empty st.resident_fifo then continue_ := false
+    | Parked ->
+      flush_wb st;
+      give_pool ()
+    | No_victim ->
+      if Policy.Writeback.pending st.wb > 0 then begin
+        flush_wb st;
+        give_pool ()
+      end
+      else continue_ := false
   done;
   !given
 
-let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0) ~swap
-    env =
+(* The advice channel (madvise-style). Dontneed evicts synchronously
+   under the domain's own guarantee, so it must run in a worker/domain
+   thread, not a notification handler. *)
+let drop_page st p =
+  match st.pages.(p) with
+  | Resident r ->
+    let env = st.env in
+    st.repl.Policy.Replacement.remove p;
+    let va = Stretch.page_base (the_stretch st) p in
+    let pte = Stretch_driver.unmap_page env va in
+    settle_prefetch st p (Pte.referenced pte);
+    (match st.pages.(p) with
+    | Resident { via_prefetch = true; _ } ->
+      st.prefetch_waste <- st.prefetch_waste + 1;
+      metric_inc st "policy.prefetch_waste"
+    | _ -> ());
+    let dirty = Pte.dirty pte || r.dirty_latched in
+    let must_clean = st.forgetful || dirty || not r.clean_on_disk in
+    metric_inc st "policy.evict";
+    st.evictions <- st.evictions + 1;
+    if must_clean then begin
+      let blok = blok_for st p in
+      if Policy.Writeback.enabled st.wb then begin
+        st.pages.(p) <- Wb_pending { pfn = r.pfn };
+        Policy.Writeback.enqueue st.wb ~page:p ~blok ~frame:r.pfn
+      end
+      else begin
+        write_now st blok;
+        st.pages.(p) <- (if st.forgetful then Fresh else Swapped);
+        st.pool <- r.pfn :: st.pool
+      end
+    end
+    else begin
+      st.pages.(p) <- Swapped;
+      st.pool <- r.pfn :: st.pool
+    end
+  | Fresh | Swapped | Wb_pending _ -> ()
+
+let advise_st st adv =
+  st.tick <- st.tick + 1;
+  Policy.Prefetch.advise st.pf adv;
+  match adv with
+  | Policy.Advice.Willneed { page; npages } ->
+    for p = page to page + npages - 1 do
+      if p >= 0 && p < Array.length st.pages then
+        match st.pages.(p) with
+        | Resident _ -> st.repl.Policy.Replacement.touch p
+        | _ -> ()
+    done
+  | Policy.Advice.Dontneed { page; npages } ->
+    for p = page to page + npages - 1 do
+      if p >= 0 && p < Array.length st.pages then drop_page st p
+    done
+  | Policy.Advice.Sequential | Policy.Advice.Random -> ()
+
+type handle = {
+  h_info : unit -> info;
+  h_advise : Policy.Advice.t -> unit;
+  h_policy : string;
+}
+
+let info h = h.h_info ()
+let advise h adv = h.h_advise adv
+let policy_name h = h.h_policy
+
+let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
+    ?(policy = Policy.Spec.default) ~swap env =
   if readahead < 0 then invalid_arg "Sd_paged.create: negative readahead";
+  let spec = Policy.Spec.with_readahead policy readahead in
+  let tick_ref = ref (fun () -> 0) in
   let st =
-    { env; swap; forgetful; readahead;
+    { env; swap; forgetful; spec;
+      repl = Policy.Spec.make_replacement spec ~now:(fun () -> !tick_ref ());
+      pf = Policy.Spec.make_prefetch spec;
+      wb = Policy.Writeback.create ~write:(fun ~blok:_ ~nbloks:_ -> ()) ();
       bitmap = Bloks.create ~nbloks:(max 1 (Usbs.Sfs.page_capacity swap));
       stretch = None; pages = [||]; blok_of_page = [||]; pool = [];
-      resident_fifo = Queue.create (); page_ins = 0; page_outs = 0;
-      demand_zeros = 0; evictions = 0; prefetched = 0 }
+      tick = 0; page_ins = 0; page_outs = 0; demand_zeros = 0; evictions = 0;
+      prefetched = 0; prefetch_hits = 0; prefetch_waste = 0; rescues = 0 }
   in
+  tick_ref := (fun () -> st.tick);
+  st.wb <-
+    Policy.Writeback.create ~max_batch:spec.Policy.Spec.wb_batch
+      ~write:(fun ~blok ~nbloks ->
+        let sp = span_start st "usd.write" in
+        Usbs.Sfs.write_pages st.swap ~page_index:blok ~npages:nbloks;
+        span_finish sp;
+        st.page_outs <- st.page_outs + nbloks;
+        metric_add st "policy.page_out" nbloks;
+        metric_inc st "policy.wb_flush")
+      ();
   let shortfall = ref 0 in
   for _ = 1 to initial_frames do
     match Frames.alloc env.Stretch_driver.frames env.Stretch_driver.frames_client with
@@ -280,16 +631,26 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0) ~swap
   if !shortfall > 0 then
     Error (Printf.sprintf "could not preallocate %d frames" !shortfall)
   else
+    let pname = Policy.Spec.name spec in
     Ok
       ( { Stretch_driver.name =
-            (if forgetful then "paged(forgetful)" else "paged");
+            (if forgetful then Printf.sprintf "paged(forgetful,%s)" pname
+             else Printf.sprintf "paged(%s)" pname);
           bind = bind st;
           fast = fast st;
           full = full st;
           relinquish = relinquish st;
-          resident_pages = (fun () -> Queue.length st.resident_fifo);
+          resident_pages =
+            (fun () -> st.repl.Policy.Replacement.residents ());
           free_frames = (fun () -> List.length st.pool) },
-        fun () ->
-          { page_ins = st.page_ins; page_outs = st.page_outs;
-            demand_zeros = st.demand_zeros; evictions = st.evictions;
-            prefetched = st.prefetched } )
+        { h_info =
+            (fun () ->
+              { page_ins = st.page_ins; page_outs = st.page_outs;
+                demand_zeros = st.demand_zeros; evictions = st.evictions;
+                prefetched = st.prefetched;
+                prefetch_hits = st.prefetch_hits;
+                prefetch_waste = st.prefetch_waste;
+                wb_flushes = Policy.Writeback.flushes st.wb;
+                rescues = st.rescues });
+          h_advise = advise_st st;
+          h_policy = pname } )

@@ -5,36 +5,84 @@
     file whose disk transactions run under the domain's own disk
     guarantee. Swap space is tracked as a bitmap of {e bloks} (see
     {!Bloks}); a page is assigned a blok the first time it must be
-    cleaned, and keeps it (the paper's demand-paged scheme is "fairly
-    pure": no pre-paging, eviction strictly on demand, FIFO victims).
+    cleaned, and keeps it.
+
+    The driver is parameterised over a {!Policy.Spec.t} — this is the
+    degree of freedom the paper claims for self-paging ("applications
+    are free to choose their own paging policy"):
+
+    - {b replacement} (FIFO / Clock / LRU / WSClock) nominates
+      victims, driven by the domain's own virtual time (one tick per
+      fault the driver handles);
+    - {b read-ahead} ([Stream]/[Adaptive]) widens a page-in to a run
+      of further swapped pages whose bloks are contiguous on disk,
+      using spare frames, so several page-ins collapse into one disk
+      transaction (an adaptive engine also follows strided faults);
+    - {b write-behind} ([wb_batch > 1]) parks dirty evictions — frame
+      pinned — and flushes them as coalesced transactions; a fault on
+      a parked page is {e rescued} from the buffer with no disk I/O,
+      so read-your-writes is preserved.
+
+    [Policy.Spec.default] (FIFO, no read-ahead, write-through)
+    reproduces the seed driver's behaviour — same fault handling, same
+    eviction order, same disk transactions.
 
     [forgetful] reproduces the paper's paging-{e out} experiment
     (Figure 8): the driver "forgets" that pages have a copy on disk, so
     it never pages in — every fault is a demand-zero fill and every
     eviction is a dirty write-back.
 
-    [readahead] enables the {e stream-paging} extension the paper
-    points to as future work: a page-in is widened to a run of up to
-    [readahead] further consecutive swapped pages whose bloks are
-    contiguous on disk, using only spare frames (never evicting to
-    prefetch), so several page-ins collapse into one disk transaction.
+    [readahead] is the seed's stream-paging knob, kept for
+    compatibility: it forces [Stream readahead] onto a spec that has
+    no read-ahead of its own.
 
     One paged driver backs exactly one stretch. *)
 
 type info = {
   page_ins : int;
-  page_outs : int;
+      (** Demand page-ins: pages read from swap because a fault needed
+          them. Disjoint from [prefetched] — a page read from swap is
+          counted in exactly one of the two, so
+          [page_ins + prefetched] is the total pages read. *)
+  page_outs : int;  (** pages written to swap (immediate or batched) *)
   demand_zeros : int;
-  evictions : int;
-  prefetched : int;  (** pages brought in by stream-paging read-ahead *)
+  evictions : int;  (** victims unmapped (cleaned, parked or clean) *)
+  prefetched : int;
+      (** pages brought in by read-ahead, never by demand; disjoint
+          from [page_ins] (see above) *)
+  prefetch_hits : int;
+      (** prefetched pages observed referenced before eviction *)
+  prefetch_waste : int;
+      (** prefetched pages evicted without ever being referenced;
+          hits + waste <= prefetched (still-resident ones pending) *)
+  wb_flushes : int;
+      (** coalesced write-behind transactions issued *)
+  rescues : int;
+      (** faults satisfied from the write-behind buffer (cancelled
+          write, remapped frame, no disk I/O) *)
 }
+
+type handle
+(** The application side of the driver: statistics and the advice
+    channel. *)
+
+val info : handle -> info
+
+val advise : handle -> Policy.Advice.t -> unit
+(** Steer the policy (madvise-style). [Sequential]/[Random] retune
+    read-ahead; [Willneed] queues pages for the next read-ahead
+    opportunity; [Dontneed] evicts the range now (cleaning dirty pages
+    under the domain's own guarantee — call from a domain thread, not
+    a notification handler). *)
+
+val policy_name : handle -> string
 
 val create :
   ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
+  ?policy:Policy.Spec.t ->
   swap:Usbs.Sfs.swapfile -> Stretch_driver.env ->
-  (Stretch_driver.t * (unit -> info), string) result
+  (Stretch_driver.t * handle, string) result
 (** [initial_frames] are allocated from the frames allocator up front
     (the paper's time-sensitive applications take all their guaranteed
     frames at initialisation). Fails if they cannot be obtained or the
-    swap file is too small for the stretch once bound. The [info]
-    thunk reports paging statistics. *)
+    swap file is too small for the stretch once bound. *)

@@ -227,14 +227,18 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
             Usbs.Usd.retire d.sys.the_usd client);
         Ok (driver, info)))
 
-let bind_paged d ?forgetful ?initial_frames ?readahead ~swap_bytes ~qos s () =
+let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ~swap_bytes
+    ~qos s () =
   match
     Usbs.Sfs.open_swap d.sys.the_sfs
       ~name:(Domains.name d.dom ^ ".swap") ~bytes:swap_bytes ~qos
   with
   | Error _ as e -> e
   | Ok swap ->
-    (match Sd_paged.create ?forgetful ?initial_frames ?readahead ~swap d.env with
+    (match
+       Sd_paged.create ?forgetful ?initial_frames ?readahead ?policy ~swap
+         d.env
+     with
     | Error e ->
       Usbs.Sfs.close_swap d.sys.the_sfs swap;
       Error e

@@ -106,10 +106,12 @@ val bind_physical :
 
 val bind_paged :
   domain -> ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
+  ?policy:Policy.Spec.t ->
   swap_bytes:int -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
-  (Stretch_driver.t * (unit -> Sd_paged.info), string) result
+  (Stretch_driver.t * Sd_paged.handle, string) result
 (** Opens a swap file on the SFS (negotiating the disk QoS), creates a
-    paged driver and binds it. *)
+    paged driver under [policy] (default: the seed FIFO/write-through
+    behaviour) and binds it. *)
 
 val bind_mapped :
   domain -> mode:Sd_mapped.mode -> ?initial_frames:int ->

@@ -1,0 +1,79 @@
+type mode = Off | Stream of int | Adaptive of int
+
+let default_window = 8
+
+type t = {
+  mutable mode : mode;
+  mutable last_fault : int;  (* -1 = none yet *)
+  mutable stride : int;      (* detected stride; 0 = none *)
+  mutable run : int;         (* consecutive faults matching the stride *)
+  mutable expected : int;    (* next demand fault if the pattern holds
+                                and the last plan was fully consumed *)
+  mutable willneed : int list;  (* advice queue, oldest first *)
+}
+
+let create mode =
+  { mode; last_fault = -1; stride = 0; run = 0; expected = min_int;
+    willneed = [] }
+
+let mode t = t.mode
+
+let advise t = function
+  | Advice.Sequential ->
+    let w =
+      match t.mode with
+      | Stream w | Adaptive w -> max w default_window
+      | Off -> default_window
+    in
+    t.mode <- Stream w
+  | Advice.Random -> t.mode <- Off
+  | Advice.Willneed { page; npages } ->
+    t.willneed <- t.willneed @ List.init (max 0 npages) (fun i -> page + i)
+  | Advice.Dontneed { page; npages } ->
+    t.willneed <-
+      List.filter (fun p -> p < page || p >= page + npages) t.willneed
+
+(* Window the detector currently believes in: grows with the run so a
+   lone coincidence fetches little and a real scan opens up fast. *)
+let adaptive_window t w =
+  if t.run < 2 || t.stride = 0 then 0 else min w (2 * (t.run - 1))
+
+let record_fault t page =
+  (match t.mode with
+  | Adaptive w ->
+    let delta = page - t.last_fault in
+    if t.last_fault < 0 then begin
+      t.stride <- 0;
+      t.run <- 1
+    end
+    else if page = t.expected && t.stride <> 0 then
+      (* The gap is exactly what our own read-ahead covered: the
+         pattern continues. *)
+      t.run <- t.run + 1
+    else if delta = t.stride && t.stride <> 0 then t.run <- t.run + 1
+    else if delta <> 0 && abs delta <= w then begin
+      (* Candidate new stride; takes two matching deltas to act. *)
+      t.stride <- delta;
+      t.run <- 2
+    end
+    else begin
+      t.stride <- 0;
+      t.run <- 1
+    end;
+    let k = adaptive_window t w in
+    t.expected <- (if t.stride = 0 then min_int else page + ((k + 1) * t.stride))
+  | Off | Stream _ -> ());
+  t.last_fault <- page
+
+let plan t ~page =
+  let hinted = t.willneed in
+  t.willneed <- [];
+  let predicted =
+    match t.mode with
+    | Off -> []
+    | Stream w -> List.init w (fun i -> page + i + 1)
+    | Adaptive w ->
+      let k = adaptive_window t w in
+      List.init k (fun i -> page + ((i + 1) * t.stride))
+  in
+  hinted @ List.filter (fun p -> not (List.mem p hinted)) predicted

@@ -1,0 +1,89 @@
+type replacement = Fifo | Clock | Lru | Wsclock of { window : int }
+
+type t = {
+  replacement : replacement;
+  prefetch : Prefetch.mode;
+  wb_batch : int;
+}
+
+let default = { replacement = Fifo; prefetch = Prefetch.Off; wb_batch = 1 }
+
+let replacement_name = function
+  | Fifo -> "fifo"
+  | Clock -> "clock"
+  | Lru -> "lru"
+  | Wsclock { window } ->
+    if window = 16 then "wsclock" else Printf.sprintf "wsclock:%d" window
+
+let name t =
+  let base = replacement_name t.replacement in
+  let base =
+    match t.prefetch with
+    | Prefetch.Off -> base
+    | Prefetch.Stream w -> Printf.sprintf "%s+ra%d" base w
+    | Prefetch.Adaptive w -> Printf.sprintf "%s+ad%d" base w
+  in
+  if t.wb_batch > 1 then Printf.sprintf "%s+wb%d" base t.wb_batch else base
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let parse_replacement s =
+  match String.split_on_char ':' s with
+  | [ "fifo" ] -> Ok Fifo
+  | [ "clock" ] -> Ok Clock
+  | [ "lru" ] -> Ok Lru
+  | [ "wsclock" ] -> Ok (Wsclock { window = 16 })
+  | [ "wsclock"; w ] ->
+    (match int_of_string_opt w with
+    | Some w when w > 0 -> Ok (Wsclock { window = w })
+    | _ -> Error (Printf.sprintf "bad wsclock window %S" w))
+  | _ -> Error (Printf.sprintf "unknown replacement %S" s)
+
+let parse_modifier t s =
+  let num prefix =
+    let n = String.length prefix in
+    match int_of_string_opt (String.sub s n (String.length s - n)) with
+    | Some v when v > 0 -> Ok v
+    | _ -> Error (Printf.sprintf "bad modifier %S" s)
+  in
+  if String.length s > 2 && String.sub s 0 2 = "ra" then
+    Result.map (fun w -> { t with prefetch = Prefetch.Stream w }) (num "ra")
+  else if String.length s > 2 && String.sub s 0 2 = "ad" then
+    Result.map (fun w -> { t with prefetch = Prefetch.Adaptive w }) (num "ad")
+  else if String.length s > 2 && String.sub s 0 2 = "wb" then
+    Result.map (fun b -> { t with wb_batch = b }) (num "wb")
+  else Error (Printf.sprintf "unknown modifier %S" s)
+
+let of_string s =
+  match String.split_on_char '+' (String.trim (String.lowercase_ascii s)) with
+  | [] | [ "" ] -> Error "empty policy"
+  | base :: mods ->
+    (match parse_replacement base with
+    | Error _ as e -> e
+    | Ok replacement ->
+      List.fold_left
+        (fun acc m -> Result.bind acc (fun t -> parse_modifier t m))
+        (Ok { default with replacement })
+        mods)
+
+let presets =
+  List.map
+    (fun s ->
+      match of_string s with
+      | Ok t -> (name t, t)
+      | Error e -> invalid_arg ("Spec.presets: " ^ e))
+    [ "fifo"; "fifo+ra8"; "fifo+wb8"; "clock"; "lru"; "wsclock" ]
+
+let make_replacement t ~now =
+  match t.replacement with
+  | Fifo -> Replacement.fifo ()
+  | Clock -> Replacement.clock ()
+  | Lru -> Replacement.lru ~now ()
+  | Wsclock { window } -> Replacement.wsclock ~window ~now ()
+
+let make_prefetch t = Prefetch.create t.prefetch
+
+let with_readahead t n =
+  if n > 0 && t.prefetch = Prefetch.Off then
+    { t with prefetch = Prefetch.Stream n }
+  else t

@@ -1,0 +1,46 @@
+(** Policy selection: which replacement, read-ahead and write-behind a
+    paged stretch driver should run.
+
+    A spec is a small immutable value that workloads thread down to
+    {e their own} driver — per-domain policy choice is the point of
+    self-paging. Specs have a compact textual form for CLI use:
+
+    {v
+      fifo | clock | lru | wsclock | wsclock:32
+        optionally followed by modifiers, '+'-separated:
+      +raN       stream read-ahead, window N     (e.g. fifo+ra8)
+      +adN       adaptive read-ahead, window N   (e.g. clock+ad8)
+      +wbN       write-behind, batch N frames    (e.g. lru+wb16)
+    v}
+
+    [default] — FIFO, no read-ahead, write-through — reproduces the
+    seed driver's behaviour exactly. *)
+
+type replacement = Fifo | Clock | Lru | Wsclock of { window : int }
+
+type t = {
+  replacement : replacement;
+  prefetch : Prefetch.mode;
+  wb_batch : int;  (** <= 1 = write-through *)
+}
+
+val default : t
+
+val name : t -> string
+(** Canonical textual form (parsable by {!of_string}). *)
+
+val of_string : string -> (t, string) result
+
+val presets : (string * t) list
+(** The line-up [policy-compare] runs by default: fifo, fifo+ra8,
+    fifo+wb8, clock, lru, wsclock. *)
+
+val make_replacement : t -> now:(unit -> int) -> Replacement.t
+val make_prefetch : t -> Prefetch.t
+
+val with_readahead : t -> int -> t
+(** Compatibility shim for the seed driver's [?readahead] argument:
+    forces [Stream n] when [n > 0] and the spec has no read-ahead of
+    its own. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type entry = { page : int; blok : int; frame : int }
+
+type t = {
+  batch : int;
+  write : blok:int -> nbloks:int -> unit;
+  mutable parked : entry list;  (* unordered *)
+  mutable nflushes : int;
+}
+
+let create ?(max_batch = 1) ~write () =
+  { batch = max_batch; write; parked = []; nflushes = 0 }
+
+let enabled t = t.batch > 1
+let max_batch t = t.batch
+let pending t = List.length t.parked
+let full t = pending t >= t.batch
+let member t ~page = List.exists (fun e -> e.page = page) t.parked
+
+let enqueue t ~page ~blok ~frame =
+  if not (enabled t) then invalid_arg "Writeback.enqueue: batching disabled";
+  if member t ~page then invalid_arg "Writeback.enqueue: page already parked";
+  t.parked <- { page; blok; frame } :: t.parked
+
+let rescue t ~page =
+  match List.partition (fun e -> e.page = page) t.parked with
+  | [ e ], rest ->
+    t.parked <- rest;
+    Some e
+  | _ -> None
+
+let flush t =
+  let entries =
+    List.sort (fun a b -> compare a.blok b.blok) t.parked
+  in
+  t.parked <- [];
+  let rec runs acc cur = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | e :: rest ->
+      (match cur with
+      | prev :: _ when e.blok = prev.blok + 1 -> runs acc (e :: cur) rest
+      | _ :: _ -> runs (List.rev cur :: acc) [ e ] rest
+      | [] -> runs acc [ e ] rest)
+  in
+  match entries with
+  | [] -> []
+  | first :: rest ->
+    let groups = runs [] [ first ] rest in
+    List.iter
+      (fun run ->
+        match run with
+        | [] -> ()
+        | { blok; _ } :: _ ->
+          t.nflushes <- t.nflushes + 1;
+          t.write ~blok ~nbloks:(List.length run))
+      groups;
+    List.map (fun e -> (e.page, e.frame)) entries
+
+let flushes t = t.nflushes

@@ -73,3 +73,11 @@ let read_pages sf ~page_index ~npages =
   Sync.Ivar.read
     (Usd.submit sf.fs.u sf.client Usd.Read ~lba:(lba_of_page sf page_index)
        ~nblocks:(npages * sf.page_blocks))
+
+let write_pages sf ~page_index ~npages =
+  if npages <= 0 then invalid_arg "Sfs.write_pages: npages <= 0";
+  if page_index + npages > page_capacity sf then
+    invalid_arg "Sfs.write_pages: beyond extent";
+  Sync.Ivar.read
+    (Usd.submit sf.fs.u sf.client Usd.Write ~lba:(lba_of_page sf page_index)
+       ~nblocks:(npages * sf.page_blocks))

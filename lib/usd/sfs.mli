@@ -51,4 +51,8 @@ val read_pages : swapfile -> page_index:int -> npages:int -> unit
 (** One disk transaction covering [npages] consecutive page slots —
     the stream-paging extension reads ahead with this. *)
 
+val write_pages : swapfile -> page_index:int -> npages:int -> unit
+(** One disk transaction writing [npages] consecutive page slots —
+    write-behind coalesces batched dirty evictions with this. *)
+
 val usd_client : swapfile -> Usd.client

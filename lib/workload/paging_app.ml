@@ -3,15 +3,21 @@ open Hw
 open Core
 
 type mode = Paging_in | Paging_out
+type pattern = Sequential | Random | Hotspot
 
 type t = {
   d : System.domain;
   stretch : Stretch.t;
-  info : unit -> Sd_paged.info;
+  handle : Sd_paged.handle;
+  pattern : pattern;
+  rng : Rng.t;
   bytes : int ref;
+  accesses : int ref;
   watcher : Sampler.t;
   (* Instant at which the measured loop began (init/populate done). *)
   loop_start : Time.t option ref;
+  start_info : Sd_paged.info option ref;
+  start_accesses : int ref;
 }
 
 let domain t = t.d
@@ -25,39 +31,95 @@ let sustained_mbit t =
   | None -> nan
   | Some start -> Sampler.sustained t.watcher ~after:(Time.add start (Time.sec 5)) ()
 
-let paging_info t = t.info ()
+let paging_info t = Sd_paged.info t.handle
+let policy_name t = Sd_paged.policy_name t.handle
+let advise t adv = Sd_paged.advise t.handle adv
+
+let measured_accesses t =
+  match !(t.start_info) with
+  | None -> 0
+  | Some _ -> !(t.accesses) - !(t.start_accesses)
+
+let measured_info t =
+  let now = paging_info t in
+  match !(t.start_info) with
+  | None -> now
+  | Some s ->
+    { Sd_paged.page_ins = now.page_ins - s.page_ins;
+      page_outs = now.page_outs - s.page_outs;
+      demand_zeros = now.demand_zeros - s.demand_zeros;
+      evictions = now.evictions - s.evictions;
+      prefetched = now.prefetched - s.prefetched;
+      prefetch_hits = now.prefetch_hits - s.prefetch_hits;
+      prefetch_waste = now.prefetch_waste - s.prefetch_waste;
+      wb_flushes = now.wb_flushes - s.wb_flushes;
+      rescues = now.rescues - s.rescues }
+
 let stop t = Domains.kill t.d.System.dom
 
-(* Touch every page of the stretch once, charging the trivial per-page
-   computation, and count the bytes processed. *)
-let sweep t ~access ~compute_per_page =
+let touch t page ~access ~compute_per_page =
   let dom = t.d.System.dom in
+  Domains.access dom (Stretch.page_base t.stretch page) access;
+  Domains.consume_cpu dom compute_per_page;
+  t.bytes := !(t.bytes) + Addr.page_size;
+  t.accesses := !(t.accesses) + 1
+
+(* Touch every page of the stretch once, in order, charging the
+   trivial per-page computation — used for initialisation and swap
+   population regardless of the measured pattern. *)
+let sweep_seq t ~access ~compute_per_page =
   let npages = Stretch.npages t.stretch in
   for i = 0 to npages - 1 do
-    Domains.access dom (Stretch.page_base t.stretch i) access;
-    Domains.consume_cpu dom compute_per_page;
-    t.bytes := !(t.bytes) + Addr.page_size
+    touch t i ~access ~compute_per_page
   done
+
+(* One round of [npages] accesses following the app's pattern — the
+   same volume of work per round for every pattern, so sustained
+   throughputs are comparable. *)
+let sweep_pattern t ~access ~compute_per_page =
+  let npages = Stretch.npages t.stretch in
+  match t.pattern with
+  | Sequential -> sweep_seq t ~access ~compute_per_page
+  | Random ->
+    for _ = 1 to npages do
+      touch t (Rng.int t.rng npages) ~access ~compute_per_page
+    done
+  | Hotspot ->
+    (* 90 % of accesses land in the first eighth of the stretch. *)
+    let hot = max 1 (npages / 8) in
+    for _ = 1 to npages do
+      let p =
+        if Rng.int t.rng 10 < 9 then Rng.int t.rng hot
+        else Rng.int t.rng npages
+      in
+      touch t p ~access ~compute_per_page
+    done
+
+let begin_measured t =
+  t.loop_start := Some (Sim.now (Proc.sim (Proc.self ())));
+  t.start_info := Some (paging_info t);
+  t.start_accesses := !(t.accesses)
 
 let run_app t ~mode ~compute_per_page =
   (* Initialisation: sequential read, demand-zeroing every page. The
      byte counter keeps running; measurement cuts off at [loop_start]. *)
-  sweep t ~access:`Read ~compute_per_page;
+  sweep_seq t ~access:`Read ~compute_per_page;
   match mode with
   | Paging_in ->
-    (* Populate the swap file by dirtying every page... *)
-    sweep t ~access:`Write ~compute_per_page;
-    t.loop_start := Some (Sim.now (Proc.sim (Proc.self ())));
-    (* ...then page it all back in, over and over. *)
+    (* Populate the swap file by dirtying every page (sequentially, so
+       pages get consecutive bloks and read-ahead has runs to find)... *)
+    sweep_seq t ~access:`Write ~compute_per_page;
+    begin_measured t;
+    (* ...then page it back in, over and over, following the pattern. *)
     let rec loop () =
-      sweep t ~access:`Read ~compute_per_page;
+      sweep_pattern t ~access:`Read ~compute_per_page;
       loop ()
     in
     loop ()
   | Paging_out ->
-    t.loop_start := Some (Sim.now (Proc.sim (Proc.self ())));
+    begin_measured t;
     let rec loop () =
-      sweep t ~access:`Write ~compute_per_page;
+      sweep_pattern t ~access:`Write ~compute_per_page;
       loop ()
     in
     loop ()
@@ -65,7 +127,8 @@ let run_app t ~mode ~compute_per_page =
 let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
     ?(phys_frames = 2) ?(swap_bytes = 16 * 1024 * 1024)
     ?(compute_per_page = Time.us 20) ?(sample_period = Time.sec 5)
-    ?(cpu_slice = Time.of_ms_float 1.5) ?readahead () =
+    ?(cpu_slice = Time.of_ms_float 1.5) ?readahead ?policy
+    ?(pattern = Sequential) ?(advice = []) () =
   match
     System.add_domain sys ~name ~cpu_period:(Time.ms 10) ~cpu_slice
       ~guarantee:phys_frames ~optimistic:0 ()
@@ -84,18 +147,23 @@ let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
         (Domains.spawn_thread d.System.dom ~name:"main" (fun () ->
              match
                System.bind_paged d ~forgetful ~initial_frames:phys_frames
-                 ?readahead ~swap_bytes ~qos stretch ()
+                 ?readahead ?policy ~swap_bytes ~qos stretch ()
              with
              | Error e -> Sync.Ivar.fill started (Error e)
-             | Ok (_driver, info) ->
+             | Ok (_driver, handle) ->
                let bytes = ref 0 in
                let watcher =
                  Sampler.start (System.sim sys) ~name:(name ^ ".watch")
                    ~period:sample_period ~bytes:(fun () -> !bytes) ()
                in
                let t =
-                 { d; stretch; info; bytes; watcher; loop_start = ref None }
+                 { d; stretch; handle; pattern;
+                   rng = Rng.create ~seed:(Hashtbl.hash name land 0xffffff);
+                   bytes; accesses = ref 0; watcher;
+                   loop_start = ref None; start_info = ref None;
+                   start_accesses = ref 0 }
                in
+               List.iter (Sd_paged.advise handle) advice;
                Sync.Ivar.fill started (Ok t);
                run_app t ~mode ~compute_per_page));
       (* Drive the simulation just far enough for setup to finish (the

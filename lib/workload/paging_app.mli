@@ -7,19 +7,28 @@
     - initialises by sequentially reading every byte (each page demand
       zeroed);
     - for the {b paging-in} experiment (Fig. 7): writes every byte
-      (populating the swap file), then loops sequentially reading every
-      byte from the start, wrapping at the top;
+      (populating the swap file), then loops reading pages following
+      the configured {!pattern};
     - for the {b paging-out} experiment (Fig. 8): runs a forgetful
-      stretch driver and loops sequentially writing every byte.
+      stretch driver and loops writing pages.
 
     A trivial amount of computation is charged per page; a watch thread
-    logs bytes processed every 5 seconds. No pre-paging is performed
-    despite the predictable reference pattern. *)
+    logs bytes processed every 5 seconds. By default no pre-paging is
+    performed despite the predictable reference pattern — pass
+    [?policy] to exercise the pluggable paging policies (the app is the
+    harness for the policy-compare experiment). *)
 
 open Engine
 open Core
 
 type mode = Paging_in | Paging_out
+
+type pattern =
+  | Sequential  (** wrap-around linear scan (the paper's workload) *)
+  | Random  (** uniform page per access *)
+  | Hotspot
+      (** 90 % of accesses in the first eighth of the stretch, the
+          rest uniform — a cacheable working set *)
 
 type t
 
@@ -27,7 +36,11 @@ val start :
   System.t -> name:string -> mode:mode -> qos:Usbs.Qos.t ->
   ?vm_bytes:int -> ?phys_frames:int -> ?swap_bytes:int ->
   ?compute_per_page:Time.span -> ?sample_period:Time.span ->
-  ?cpu_slice:Time.span -> ?readahead:int -> unit -> (t, string) result
+  ?cpu_slice:Time.span -> ?readahead:int -> ?policy:Policy.Spec.t ->
+  ?pattern:pattern -> ?advice:Policy.Advice.t list -> unit ->
+  (t, string) result
+(** [advice] is applied through the driver's advice channel right
+    after binding, before the first access. *)
 
 val domain : t -> System.domain
 val bytes_processed : t -> int
@@ -39,5 +52,17 @@ val sustained_mbit : t -> float
 val in_measured_loop : t -> bool
 val loop_started_at : t -> Time.t option
 val paging_info : t -> Sd_paged.info
+val policy_name : t -> string
+val advise : t -> Policy.Advice.t -> unit
+
+val measured_accesses : t -> int
+(** Page accesses made since the measured loop began (0 before). *)
+
+val measured_info : t -> Sd_paged.info
+(** Driver statistics accumulated since the measured loop began, i.e.
+    with initialisation and swap population subtracted out —
+    [measured_info.page_ins / measured_accesses] is the measured-loop
+    miss rate. *)
+
 val stop : t -> unit
 (** Kill the application's domain. *)

@@ -138,7 +138,7 @@ let paged_driver_swaps () =
   let info =
     in_domain sys d (fun () ->
         let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
-        let _, info =
+        let _, h =
           match
             System.bind_paged d ~initial_frames:2
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
@@ -154,7 +154,7 @@ let paged_driver_swaps () =
         for i = 0 to 7 do
           Domains.access d.System.dom (Stretch.page_base s i) `Read
         done;
-        info ())
+        Sd_paged.info h)
   in
   check "demand zeros" 8 info.Sd_paged.demand_zeros;
   checkb "pages written out" true (info.Sd_paged.page_outs >= 6);
@@ -168,7 +168,7 @@ let paged_driver_clean_pages_skip_writeback () =
   let info =
     in_domain sys d (fun () ->
         let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
-        let _, info =
+        let _, h =
           match
             System.bind_paged d ~initial_frames:2
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
@@ -181,13 +181,13 @@ let paged_driver_clean_pages_skip_writeback () =
         for i = 0 to 7 do
           Domains.access d.System.dom (Stretch.page_base s i) `Write
         done;
-        let outs_after_populate = (info ()).Sd_paged.page_outs in
+        let outs_after_populate = (Sd_paged.info h).Sd_paged.page_outs in
         for _ = 1 to 2 do
           for i = 0 to 7 do
             Domains.access d.System.dom (Stretch.page_base s i) `Read
           done
         done;
-        (outs_after_populate, info ()))
+        (outs_after_populate, Sd_paged.info h))
   in
   let outs_populate, final = info in
   (* The two pages still resident (and dirty) after the populate pass
@@ -204,7 +204,7 @@ let paged_driver_forgetful_never_reads () =
   let info =
     in_domain sys d (fun () ->
         let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
-        let _, info =
+        let _, h =
           match
             System.bind_paged d ~forgetful:true ~initial_frames:2
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
@@ -217,7 +217,7 @@ let paged_driver_forgetful_never_reads () =
             Domains.access d.System.dom (Stretch.page_base s i) `Write
           done
         done;
-        info ())
+        Sd_paged.info h)
   in
   check "never pages in" 0 info.Sd_paged.page_ins;
   checkb "pages out continuously" true (info.Sd_paged.page_outs >= 20)

@@ -255,7 +255,7 @@ let paged_random_access () =
   ignore
     (Domains.spawn_thread d.System.dom ~name:"main" (fun () ->
          let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
-         let driver, info =
+         let driver, h =
            match
              System.bind_paged d ~initial_frames:3
                ~swap_bytes:(2 * npages * Addr.page_size) ~qos s ()
@@ -269,7 +269,7 @@ let paged_random_access () =
            Domains.access d.System.dom (Stretch.page_base s page)
              (if Rng.bool rng then `Read else `Write)
          done;
-         result := Some (driver.Stretch_driver.resident_pages (), info ())));
+         result := Some (driver.Stretch_driver.resident_pages (), Sd_paged.info h)));
   System.run sys ~until:(Time.sec 300);
   match !result with
   | None -> Alcotest.fail "random-access workload did not finish"
