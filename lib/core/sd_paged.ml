@@ -184,30 +184,60 @@ let write_now st blok =
 
 (* Issue every parked write-behind entry (coalesced by the buffer into
    contiguous USD transactions) and return the freed frames to the
-   pool. Blocking (disk I/O): worker-thread context only. *)
+   pool. A page's state flips to Swapped at the commit point — the
+   instant its run's write is issued, not when the whole flush
+   returns — so pages in runs not yet written stay Wb_pending and
+   rescuable while earlier runs block on disk. Flipping at issue time
+   is sound because one client's USD requests are served FIFO: a fault
+   that then reads the page queues its read behind the in-flight write
+   and cannot observe stale disk contents. The frame returns to the
+   pool only once its run's write has completed (it is pinned while
+   the "DMA" is in flight). Blocking (disk I/O): worker-thread context
+   only; safe to run concurrently from the fault and revocation
+   workers (each flush iteration claims a disjoint run). *)
 let flush_wb st =
   if Policy.Writeback.pending st.wb > 0 then begin
     st.env.Stretch_driver.assert_idc_allowed "USBS write";
-    let released = Policy.Writeback.flush st.wb in
-    List.iter
-      (fun (page, frame) ->
-        st.pages.(page) <- (if st.forgetful then Fresh else Swapped);
-        st.pool <- frame :: st.pool)
-      released
+    ignore
+      (Policy.Writeback.flush st.wb
+         ~commit:(fun ~page ->
+           st.pages.(page) <- (if st.forgetful then Fresh else Swapped))
+         ~release:(fun ~page:_ ~frame -> st.pool <- frame :: st.pool))
   end
 
 type evicted = No_victim | Freed of int | Parked
 
 (* Evict the policy's victim, cleaning it to the USBS first if needed
    (immediately, or by parking it in the write-behind buffer), and
-   hand back its frame if one came free. Blocking (disk I/O):
-   worker-thread context only. *)
-let evict_one st =
+   hand back its frame if one came free. [clean_only] is the prefetch
+   caller's flag: a victim that would only be *parked* (write-behind
+   enabled, needs cleaning) yields no frame now, so eviction would
+   cost a resident page for nothing — pre-check its dirtiness
+   non-destructively and leave it resident instead. Blocking (disk
+   I/O): worker-thread context only. *)
+let evict_one ?(clean_only = false) st =
   let env = st.env in
   match st.repl.Policy.Replacement.victim (make_probe st) with
   | None -> No_victim
   | Some victim ->
     (match st.pages.(victim) with
+    | Resident r
+      when clean_only
+           && Policy.Writeback.enabled st.wb
+           && (st.forgetful
+              || r.dirty_latched
+              || (not r.clean_on_disk)
+              ||
+              let va = Stretch.page_base (the_stretch st) victim in
+              let pte, cost =
+                Translation.trans env.Stretch_driver.translation ~va
+              in
+              env.Stretch_driver.consume_cpu cost;
+              Pte.dirty pte) ->
+      (* Re-insert: the policy sees the page as freshly mapped — cheap
+         protection for a page we just chose not to lose. *)
+      st.repl.Policy.Replacement.insert victim;
+      No_victim
     | Resident r ->
       let va = Stretch.page_base (the_stretch st) victim in
       let pte = Stretch_driver.unmap_page env va in
@@ -328,11 +358,15 @@ let obtain_frame st =
 
 (* A frame for read-ahead only: spare frames first, else recycle a
    victim (for a streaming reader it is clean, so this costs no disk
-   write) — but never flush the write-behind buffer just to prefetch. *)
+   write) — but never flush the write-behind buffer just to prefetch,
+   and ([clean_only]) never park a dirty victim on a prefetch's
+   behalf: that would sacrifice a resident page without yielding a
+   frame. *)
 let prefetch_frame st =
   match take_pool st with
   | Some f -> Some f
-  | None -> (match evict_one st with Freed f -> Some f | _ -> None)
+  | None ->
+    (match evict_one ~clean_only:true st with Freed f -> Some f | _ -> None)
 
 let is_swapped st p =
   p >= 0 && p < Array.length st.pages
@@ -416,6 +450,10 @@ let full st (fault : Fault.t) =
       (match st.pages.(page) with
       | Resident _ -> Stretch_driver.Success
       | Wb_pending _ ->
+        (* A Wb_pending page is parked — a flush flips it to Swapped
+           at the very instant its write is issued (see [flush_wb]) —
+           so the rescue always succeeds; the failure arm is a
+           driver-invariant check, not a reachable outcome. *)
         if try_rescue st page then Stretch_driver.Success
         else Stretch_driver.Failure "write-behind entry lost"
       | Fresh ->
@@ -555,7 +593,10 @@ let drop_page st p =
       let blok = blok_for st p in
       if Policy.Writeback.enabled st.wb then begin
         st.pages.(p) <- Wb_pending { pfn = r.pfn };
-        Policy.Writeback.enqueue st.wb ~page:p ~blok ~frame:r.pfn
+        Policy.Writeback.enqueue st.wb ~page:p ~blok ~frame:r.pfn;
+        (* Keep the buffer bounded even across a huge Dontneed range
+           (obtain_frame applies the same rule). *)
+        if Policy.Writeback.full st.wb then flush_wb st
       end
       else begin
         write_now st blok;
@@ -583,7 +624,11 @@ let advise_st st adv =
   | Policy.Advice.Dontneed { page; npages } ->
     for p = page to page + npages - 1 do
       if p >= 0 && p < Array.length st.pages then drop_page st p
-    done
+    done;
+    (* Dontneed promises prompt release: flush the remainder so the
+       dropped frames actually reach the pool now instead of sitting
+       parked until some later memory-pressure flush. *)
+    flush_wb st
   | Policy.Advice.Sequential | Policy.Advice.Random -> ()
 
 type handle = {

@@ -34,7 +34,9 @@
 
     [readahead] is the seed's stream-paging knob, kept for
     compatibility: it forces [Stream readahead] onto a spec that has
-    no read-ahead of its own.
+    no read-ahead of its own. Passing [readahead > 0] together with a
+    [policy] that already configures read-ahead ([+raN]/[+adN]) is
+    rejected with [Invalid_argument] — pick one knob.
 
     One paged driver backs exactly one stretch. *)
 

@@ -28,31 +28,35 @@ let rescue t ~page =
     Some e
   | _ -> None
 
-let flush t =
-  let entries =
-    List.sort (fun a b -> compare a.blok b.blok) t.parked
+let flush ?(commit = fun ~page:_ -> ())
+    ?(release = fun ~page:_ ~frame:_ -> ()) t =
+  let released = ref [] in
+  let rec loop () =
+    match List.sort (fun a b -> compare a.blok b.blok) t.parked with
+    | [] -> ()
+    | first :: rest ->
+      (* Longest contiguous blok run starting at the lowest blok. *)
+      let rec take acc prev = function
+        | e :: tl when e.blok = prev.blok + 1 -> take (e :: acc) e tl
+        | _ -> List.rev acc
+      in
+      let run = take [ first ] first rest in
+      (* Commit point: the run leaves the buffer at the same instant
+         its write is issued, so an entry is rescuable for exactly as
+         long as it is parked here — there is no window in which a
+         page is neither rescuable nor (at least) on its way to disk.
+         [write] may block; the re-sort on the next iteration picks up
+         entries parked or rescued meanwhile. *)
+      let in_run e = List.exists (fun r -> r.page = e.page) run in
+      t.parked <- List.filter (fun e -> not (in_run e)) t.parked;
+      List.iter (fun e -> commit ~page:e.page) run;
+      t.nflushes <- t.nflushes + 1;
+      t.write ~blok:first.blok ~nbloks:(List.length run);
+      List.iter (fun e -> release ~page:e.page ~frame:e.frame) run;
+      released := !released @ run;
+      loop ()
   in
-  t.parked <- [];
-  let rec runs acc cur = function
-    | [] -> List.rev (List.rev cur :: acc)
-    | e :: rest ->
-      (match cur with
-      | prev :: _ when e.blok = prev.blok + 1 -> runs acc (e :: cur) rest
-      | _ :: _ -> runs (List.rev cur :: acc) [ e ] rest
-      | [] -> runs acc [ e ] rest)
-  in
-  match entries with
-  | [] -> []
-  | first :: rest ->
-    let groups = runs [] [ first ] rest in
-    List.iter
-      (fun run ->
-        match run with
-        | [] -> ()
-        | { blok; _ } :: _ ->
-          t.nflushes <- t.nflushes + 1;
-          t.write ~blok ~nbloks:(List.length run))
-      groups;
-    List.map (fun e -> (e.page, e.frame)) entries
+  loop ();
+  List.map (fun e -> (e.page, e.frame)) !released
 
 let flushes t = t.nflushes

@@ -264,6 +264,62 @@ let writeback_coalesces_contiguous () =
   check "one transaction counted per coalesced run" 2
     (Policy.Writeback.flushes wb)
 
+(* The race the commit-point design closes: while one run's write
+   blocks on disk, entries of *later* runs must still be rescuable —
+   a concurrent fault on one of them must win the frame back rather
+   than find the buffer mysteriously empty. *)
+let writeback_rescuable_during_flush () =
+  let the_wb = ref None in
+  let rescued = ref None in
+  let writes = ref [] in
+  let wb =
+    Policy.Writeback.create ~max_batch:8
+      ~write:(fun ~blok ~nbloks ->
+        writes := (blok, nbloks) :: !writes;
+        (* "During" the first run's disk time, fault page 9 (blok 9,
+           a later run): it must still be parked and rescuable. *)
+        if blok = 0 then
+          rescued := Policy.Writeback.rescue (Option.get !the_wb) ~page:9)
+      ()
+  in
+  the_wb := Some wb;
+  List.iter
+    (fun (p, b) -> Policy.Writeback.enqueue wb ~page:p ~blok:b ~frame:(100 + p))
+    [ (0, 0); (1, 1); (9, 9) ];
+  let freed = Policy.Writeback.flush wb in
+  (match !rescued with
+  | Some e -> check "rescued mid-flush entry is page 9" 9 e.Policy.Writeback.page
+  | None -> Alcotest.fail "page 9 was not rescuable during the first write");
+  Alcotest.(check (list (pair int int)))
+    "rescued page never written" [ (0, 2) ] !writes;
+  Alcotest.(check (list (pair int int)))
+    "only the written run's frames freed"
+    [ (0, 100); (1, 101) ] freed;
+  check "buffer drained" 0 (Policy.Writeback.pending wb)
+
+(* Commit fires per run at write-issue time (not when the whole flush
+   returns), release only after that run's write has completed. *)
+let writeback_commit_at_issue () =
+  let events = ref [] in
+  let ev e = events := e :: !events in
+  let wb =
+    Policy.Writeback.create ~max_batch:8
+      ~write:(fun ~blok ~nbloks -> ev (Printf.sprintf "write %d+%d" blok nbloks))
+      ()
+  in
+  List.iter
+    (fun (p, b) -> Policy.Writeback.enqueue wb ~page:p ~blok:b ~frame:p)
+    [ (0, 0); (1, 1); (5, 5) ];
+  ignore
+    (Policy.Writeback.flush wb
+       ~commit:(fun ~page -> ev (Printf.sprintf "commit %d" page))
+       ~release:(fun ~page ~frame:_ -> ev (Printf.sprintf "release %d" page)));
+  Alcotest.(check (list string))
+    "per-run commit -> write -> release ordering"
+    [ "commit 0"; "commit 1"; "write 0+2"; "release 0"; "release 1";
+      "commit 5"; "write 5+1"; "release 5" ]
+    (List.rev !events)
+
 let writeback_read_your_writes =
   (* Model a store: page -> version. Writes park in the buffer; the
      "disk" only sees a version at flush time. A read must observe the
@@ -556,6 +612,42 @@ let writeback_rescue_in_driver () =
     (info.Sd_paged.wb_flushes >= 1
     && info.Sd_paged.wb_flushes < info.Sd_paged.page_outs)
 
+(* Dontneed promises prompt release: dirty dropped pages must be
+   flushed (not left parked holding their frames captive) by the time
+   the advice call returns, even when the batch is not full. *)
+let dontneed_flushes_writeback () =
+  let sys = small_sys () in
+  let d = add_domain_exn sys ~name:"app" ~guarantee:4 ~optimistic:0 in
+  let s = alloc_exn d ~bytes:(6 * Addr.page_size) in
+  let policy =
+    match Policy.Spec.of_string "fifo+wb8" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let info, free =
+    in_domain sys d (fun () ->
+        let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
+        let drv, h =
+          match
+            System.bind_paged d ~initial_frames:4 ~policy
+              ~swap_bytes:(16 * Addr.page_size) ~qos s ()
+          with
+          | Ok x -> x
+          | Error e -> failwith e
+        in
+        for i = 0 to 3 do
+          Domains.access d.System.dom (Stretch.page_base s i) `Write
+        done;
+        Sd_paged.advise h (Policy.Advice.Dontneed { page = 0; npages = 4 });
+        (Sd_paged.info h, drv.Stretch_driver.free_frames ()))
+  in
+  (* Four dirty pages, batch of eight: without the end-of-range flush
+     they would all sit parked with zero frames free. *)
+  check "all four dirty pages written out" 4 info.Sd_paged.page_outs;
+  check "all four frames back in the pool" 4 free;
+  checkb "writes were coalesced" true
+    (info.Sd_paged.wb_flushes >= 1 && info.Sd_paged.wb_flushes < 4)
+
 (* End-to-end: the policy-compare experiment differentiates policies
    on miss rate without QoS violations. *)
 let policy_compare_smoke () =
@@ -621,6 +713,10 @@ let suite =
     ( "policy.writeback",
       [ Alcotest.test_case "coalesces contiguous bloks" `Quick
           writeback_coalesces_contiguous;
+        Alcotest.test_case "later runs rescuable during flush" `Quick
+          writeback_rescuable_during_flush;
+        Alcotest.test_case "commit at issue, release at completion" `Quick
+          writeback_commit_at_issue;
         qtest writeback_read_your_writes;
         Alcotest.test_case "coalesced USD transactions" `Quick
           writeback_coalesces_usd_txns ] );
@@ -630,7 +726,9 @@ let suite =
         Alcotest.test_case "policies never evict nailed frames" `Quick
           policies_never_evict_nailed;
         Alcotest.test_case "write-behind rescue in driver" `Quick
-          writeback_rescue_in_driver ] );
+          writeback_rescue_in_driver;
+        Alcotest.test_case "Dontneed flushes write-behind" `Quick
+          dontneed_flushes_writeback ] );
     ( "policy.compare",
       [ Alcotest.test_case "policy-compare smoke" `Slow policy_compare_smoke ]
     ) ]
