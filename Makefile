@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy smoke fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos smoke chaos fmt check clean
 
 all: build
 
@@ -15,6 +15,10 @@ bench:
 bench-policy:
 	dune exec bench/main.exe -- policy
 
+# Regenerate the machine-readable chaos (fault-injection) verdict.
+bench-chaos:
+	dune exec bench/main.exe -- chaos
+
 # Quick end-to-end run of the policy-compare figure (two contrasting
 # policies, short duration).
 smoke:
@@ -30,7 +34,12 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: fmt build test smoke
+# Quick chaos run: fault injection against one victim, clean-domain
+# isolation and recovery accounting asserted (non-zero exit on breach).
+chaos:
+	dune exec bin/nemesis_sim.exe -- chaos -d 20
+
+check: fmt build test smoke chaos
 	@echo "check OK"
 
 clean:

@@ -301,10 +301,28 @@ let run_policy () =
     (fun () -> output_string oc (Experiments.Policy_compare.to_json r));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Part 4: the chaos verdict ------------------------------------- *)
+
+(* One seeded fault-injection run; the JSON record keeps the verdict
+   (clean-domain isolation, recovery accounting, revocation outcome)
+   diffable across revisions. *)
+let run_chaos () =
+  let r = Experiments.Chaos.run ~duration:(Time.sec 30) () in
+  Experiments.Chaos.print r;
+  flush stdout;
+  let path = "BENCH_chaos.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Experiments.Chaos.to_json r));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   match Sys.argv with
   | [| _; "policy" |] -> run_policy ()
+  | [| _; "chaos" |] -> run_chaos ()
   | _ ->
     run_bechamel ();
     run_experiments ();
-    run_policy ()
+    run_policy ();
+    run_chaos ()

@@ -231,6 +231,30 @@ let netiso_cmd =
        ~doc:"Network-link guarantees and cross-resource crosstalk")
     Term.(const run $ obs_args $ duration_arg 60)
 
+let chaos_cmd =
+  let seed =
+    let doc = "Simulation and fault-injection seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json =
+    let doc = "Also write the chaos verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run obs d seed json =
+    with_obs obs (fun () ->
+        let r = Chaos.run ~seed ~duration:(sec d) () in
+        Chaos.print r;
+        Option.iter (fun path -> write_file path (Chaos.to_json r)) json;
+        if not (Chaos.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "QoS firewalling under injected faults: bad bloks, media errors, \
+          stalls, dropped notifications and revocation storms against one \
+          victim, with two clean domains as the control group")
+    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
+
 let all_cmd =
   let run obs d =
     with_obs obs (fun () ->
@@ -251,7 +275,8 @@ let all_cmd =
         Net_iso.print_shares (Net_iso.run_shares ());
         Net_iso.print_kernel_crosstalk
           (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
-        List.iter (run_ablation (min d 120)) ablation_names)
+        List.iter (run_ablation (min d 120)) ablation_names;
+        Chaos.print (Chaos.run ~duration:(sec (min d 30)) ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
     Term.(const run $ obs_args $ duration_arg 240)
@@ -265,6 +290,6 @@ let main =
   in
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
-      policy_compare_cmd; ablate_cmd; all_cmd ]
+      policy_compare_cmd; ablate_cmd; chaos_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -43,7 +43,7 @@ let video_player sys stats () =
   let rec next_frame deadline =
     let t0 = Sim.now sim in
     for _ = 1 to frame_bytes / 8192 do
-      Usbs.Usd.transact u client Usbs.Usd.Read ~lba:(fs_start + !pos)
+      Usbs.Usd.transact_exn u client Usbs.Usd.Read ~lba:(fs_start + !pos)
         ~nblocks:16;
       pos := (!pos + 16) mod (fs_len - 16)
     done;

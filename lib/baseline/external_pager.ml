@@ -69,7 +69,7 @@ let attach t client stretch ?(swap_bytes = 16 * 1024 * 1024)
     Usbs.Sfs.open_swap (System.sfs t.sys)
       ~name:
         (Printf.sprintf "pager.%s.swap" (Domains.name client.System.dom))
-      ~bytes:swap_bytes ~qos:t.swap_qos
+      ~bytes:swap_bytes ~qos:t.swap_qos ()
   with
   | Error _ as e -> e
   | Ok swap ->

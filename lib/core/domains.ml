@@ -144,7 +144,31 @@ let rec do_access t va kind ~attempt =
       end;
       Queue.add fault t.fault_queue;
       Event_chan.send t.fault_chan;
-      let outcome = Sync.Ivar.read fault.Fault.resolved in
+      let outcome =
+        if not !Inject.enabled then Sync.Ivar.read fault.Fault.resolved
+        else begin
+          (* The chaos layer may drop or delay the fault notification.
+             The fault stays queued, so waiting with patience and
+             re-kicking the channel recovers from lost deliveries;
+             only a persistently dead channel fails the access. *)
+          let patience = Time.of_ms_float 500.0 in
+          let max_kicks = 8 in
+          let rec wait kicks =
+            match Sync.Ivar.read_timeout fault.Fault.resolved patience with
+            | Some o -> o
+            | None ->
+              if kicks >= max_kicks then
+                Fault.Failed "fault notification lost"
+              else begin
+                if !Obs.enabled then
+                  Obs.Metrics.inc ~label:t.dname "fault.rekicks";
+                Event_chan.send t.fault_chan;
+                wait (kicks + 1)
+              end
+          in
+          wait 0
+        end
+      in
       if !Obs.enabled then begin
         let now = Sim.now t.sim in
         (match fault.Fault.span with
@@ -168,11 +192,6 @@ let access t va kind =
   | Ok () -> ()
   | Error (fault, msg) -> raise (Fault.Unresolved (fault, msg))
 
-let spawn_thread t ~name f =
-  let p = Proc.spawn ~name:(t.dname ^ "." ^ name) t.sim f in
-  t.threads <- p :: t.threads;
-  p
-
 let on_kill t f = t.kill_hooks <- f :: t.kill_hooks
 
 let kill t =
@@ -190,3 +209,20 @@ let kill t =
     t.kill_hooks <- [];
     List.iter (fun f -> f ()) hooks
   end
+
+(* A user thread that takes a fault its own driver cannot resolve
+   (lost page contents, retired backing store, resolution livelock) is
+   dead; per the self-paging contract the whole domain dies with it.
+   The kill runs from a fresh process because [kill] also terminates
+   the faulting thread itself. *)
+let spawn_thread t ~name f =
+  let body () =
+    try f ()
+    with Fault.Unresolved (_, _) ->
+      if !Obs.enabled then
+        Obs.Metrics.inc ~label:t.dname "domain.fault_deaths";
+      ignore (Proc.spawn ~name:(t.dname ^ ".reaper") t.sim (fun () -> kill t))
+  in
+  let p = Proc.spawn ~name:(t.dname ^ "." ^ name) t.sim body in
+  t.threads <- p :: t.threads;
+  p

@@ -10,10 +10,23 @@ let create ?(name = "chan") () =
 
 let name t = t.ev_name
 
+let deliver t = match t.notify with Some f -> f () | None -> ()
+
 let send t =
   t.count <- t.count + 1;
   if !Obs.enabled then Obs.Metrics.inc ~label:t.ev_name "event.sends";
-  match t.notify with Some f -> f () | None -> ()
+  if not !Inject.enabled then deliver t
+  else
+    match Inject.chan ~name:t.ev_name with
+    | Inject.Deliver -> deliver t
+    | Inject.Drop -> ()
+    | Inject.Delay d -> (
+      (* Deliver late, through the simulator's timer wheel. Outside a
+         process context (no clock to schedule against) the delay
+         degenerates to immediate delivery. *)
+      match Engine.Proc.current_sim () with
+      | sim -> ignore (Engine.Sim.after sim d (fun () -> deliver t))
+      | exception _ -> deliver t)
 
 let count t = t.count
 let acked t = t.acked

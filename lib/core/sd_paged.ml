@@ -20,6 +20,10 @@ type pstate =
       (* evicted dirty, parked in the write-behind buffer: the frame
          still holds the only up-to-date copy until the flush *)
   | Swapped
+  | Lost
+      (* contents unrecoverable: the backing bloks went bad and every
+         recovery rung (retry, spare remap, re-blok) was exhausted; a
+         fault on the page is a domain fault *)
 
 type info = {
   page_ins : int;
@@ -31,6 +35,11 @@ type info = {
   prefetch_waste : int;
   wb_flushes : int;
   rescues : int;
+  lost_pages : int;
+  rebloks : int;
+  shed_frames : int;
+  wb_degraded : bool;
+  swap_exhausted : bool;
 }
 
 type state = {
@@ -55,7 +64,19 @@ type state = {
   mutable prefetch_hits : int;
   mutable prefetch_waste : int;
   mutable rescues : int;
+  mutable lost_pages : int;
+  mutable rebloks : int;
+  mutable shed : int;
+  (* Degradations (sticky): [degraded_sync] disables write-behind
+     parking after a flush lost data; [swap_exhausted] marks the blok
+     bitmap dry — only clean victims can yield frames, and the driver
+     stops holding optimistic pool frames. *)
+  mutable degraded_sync : bool;
+  mutable swap_exhausted : bool;
 }
+
+(* Write-behind is in force only while it has not been degraded away. *)
+let wb_on st = Policy.Writeback.enabled st.wb && not st.degraded_sync
 
 let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
 
@@ -164,23 +185,63 @@ let install_zero st page pfn =
   Frame_stack.move_to_bottom (stack st) pfn;
   st.demand_zeros <- st.demand_zeros + 1
 
-(* Ensure the page has a blok assigned (first-fit from the bitmap). *)
+let note_swap_exhausted st =
+  if not st.swap_exhausted then begin
+    st.swap_exhausted <- true;
+    metric_inc st "sd.swap_exhausted"
+  end
+
+(* Ensure the page has a blok assigned (first-fit from the bitmap).
+   [None] means the bitmap is dry — the typed replacement for the old
+   "swap space exhausted" abort; callers degrade instead of dying. *)
 let blok_for st page =
-  if st.blok_of_page.(page) >= 0 then st.blok_of_page.(page)
+  if st.blok_of_page.(page) >= 0 then Some st.blok_of_page.(page)
   else
     match Bloks.alloc st.bitmap with
     | Some b ->
       st.blok_of_page.(page) <- b;
-      b
-    | None -> failwith "paged driver: swap space exhausted"
+      Some b
+    | None ->
+      note_swap_exhausted st;
+      None
 
-let write_now st blok =
+let mark_lost st page =
+  st.pages.(page) <- Lost;
+  st.lost_pages <- st.lost_pages + 1;
+  metric_inc st "sd.lost_pages"
+
+(* Write [page]'s blok synchronously, re-blokking around bad bloks: a
+   write that exhausts the USBS recovery ladder (retries, spare
+   remaps) abandons the bad blok — it is never returned to the
+   bitmap — takes a fresh one and rewrites from the still-held frame.
+   Returns [false] when the bitmap too is dry and the contents are
+   unrecoverable (the caller marks the page [Lost]). *)
+let write_now st ~page blok =
   st.env.Stretch_driver.assert_idc_allowed "USBS write";
-  let sp = span_start st "usd.write" in
-  Usbs.Sfs.write_page st.swap ~page_index:blok;
-  span_finish sp;
-  st.page_outs <- st.page_outs + 1;
-  metric_inc st "policy.page_out"
+  let rec go blok =
+    let sp = span_start st "usd.write" in
+    let r = Usbs.Sfs.write_page st.swap ~page_index:blok in
+    span_finish sp;
+    match r with
+    | Ok () ->
+      st.page_outs <- st.page_outs + 1;
+      metric_inc st "policy.page_out";
+      true
+    | Error `Retired -> false
+    | Error (`Lost_pages _) -> (
+      match Bloks.alloc st.bitmap with
+      | Some b' ->
+        st.blok_of_page.(page) <- b';
+        st.rebloks <- st.rebloks + 1;
+        Inject.note_remapped "sd.reblok";
+        metric_inc st "sd.rebloks";
+        go b'
+      | None ->
+        note_swap_exhausted st;
+        Inject.note_killed "sd.write";
+        false)
+  in
+  go blok
 
 (* Issue every parked write-behind entry (coalesced by the buffer into
    contiguous USD transactions) and return the freed frames to the
@@ -205,7 +266,22 @@ let flush_wb st =
          ~release:(fun ~page:_ ~frame -> st.pool <- frame :: st.pool))
   end
 
-type evicted = No_victim | Freed of int | Parked
+type evicted = No_victim | Freed of int | Parked | Swap_full
+
+(* Non-destructive "would cleaning be needed" probe (costed like any
+   other PTE inspection). *)
+let needs_clean st (r : pstate) victim =
+  match r with
+  | Resident r ->
+    st.forgetful || r.dirty_latched
+    || (not r.clean_on_disk)
+    ||
+    let env = st.env in
+    let va = Stretch.page_base (the_stretch st) victim in
+    let pte, cost = Translation.trans env.Stretch_driver.translation ~va in
+    env.Stretch_driver.consume_cpu cost;
+    Pte.dirty pte
+  | _ -> false
 
 (* Evict the policy's victim, cleaning it to the USBS first if needed
    (immediately, or by parking it in the write-behind buffer), and
@@ -213,27 +289,20 @@ type evicted = No_victim | Freed of int | Parked
    caller's flag: a victim that would only be *parked* (write-behind
    enabled, needs cleaning) yields no frame now, so eviction would
    cost a resident page for nothing — pre-check its dirtiness
-   non-destructively and leave it resident instead. Blocking (disk
-   I/O): worker-thread context only. *)
-let evict_one ?(clean_only = false) st =
+   non-destructively and leave it resident instead. [no_clean] is the
+   swap-exhaustion degradation's flag: with the blok bitmap dry only
+   victims needing no cleaning can be evicted at all, whatever the
+   write-behind setting. Blocking (disk I/O): worker-thread context
+   only. *)
+let evict_one ?(clean_only = false) ?(no_clean = false) st =
   let env = st.env in
   match st.repl.Policy.Replacement.victim (make_probe st) with
   | None -> No_victim
   | Some victim ->
     (match st.pages.(victim) with
-    | Resident r
-      when clean_only
-           && Policy.Writeback.enabled st.wb
-           && (st.forgetful
-              || r.dirty_latched
-              || (not r.clean_on_disk)
-              ||
-              let va = Stretch.page_base (the_stretch st) victim in
-              let pte, cost =
-                Translation.trans env.Stretch_driver.translation ~va
-              in
-              env.Stretch_driver.consume_cpu cost;
-              Pte.dirty pte) ->
+    | Resident _
+      when (clean_only && wb_on st && needs_clean st st.pages.(victim) victim)
+           || (no_clean && needs_clean st st.pages.(victim) victim) ->
       (* Re-insert: the policy sees the page as freshly mapped — cheap
          protection for a page we just chose not to lose. *)
       st.repl.Policy.Replacement.insert victim;
@@ -242,36 +311,55 @@ let evict_one ?(clean_only = false) st =
       let va = Stretch.page_base (the_stretch st) victim in
       let pte = Stretch_driver.unmap_page env va in
       settle_prefetch st victim (Pte.referenced pte);
-      (match st.pages.(victim) with
-      | Resident { via_prefetch = true; _ } ->
-        st.prefetch_waste <- st.prefetch_waste + 1;
-        metric_inc st "policy.prefetch_waste"
-      | _ -> ());
       let dirty = Pte.dirty pte || r.dirty_latched in
       let must_clean = st.forgetful || dirty || not r.clean_on_disk in
-      metric_inc st "policy.evict";
-      if must_clean then begin
-        let blok = blok_for st victim in
-        if Policy.Writeback.enabled st.wb then begin
+      let decision =
+        if not must_clean then `Clean_already
+        else
+          match blok_for st victim with
+          | Some b -> `Clean_to b
+          | None -> `Exhausted
+      in
+      (match decision with
+      | `Exhausted ->
+        (* Swap space exhausted: the victim cannot be cleaned, so it
+           cannot be evicted either — remap it and tell the caller to
+           degrade (clean-only eviction, shedding) instead of dying. *)
+        if Pte.dirty pte then r.dirty_latched <- true;
+        Stretch_driver.map_page env va ~pfn:r.pfn;
+        st.repl.Policy.Replacement.insert victim;
+        Swap_full
+      | (`Clean_already | `Clean_to _) as decision ->
+        (match st.pages.(victim) with
+        | Resident { via_prefetch = true; _ } ->
+          st.prefetch_waste <- st.prefetch_waste + 1;
+          metric_inc st "policy.prefetch_waste"
+        | _ -> ());
+        metric_inc st "policy.evict";
+        (match decision with
+        | `Clean_to blok ->
+          if wb_on st then begin
+            st.evictions <- st.evictions + 1;
+            st.pages.(victim) <- Wb_pending { pfn = r.pfn };
+            Policy.Writeback.enqueue st.wb ~page:victim ~blok ~frame:r.pfn;
+            Parked
+          end
+          else begin
+            let ok = write_now st ~page:victim blok in
+            st.evictions <- st.evictions + 1;
+            (* The paging-out experiment's driver forgets the disk
+               copy; a failed write loses the contents but still
+               frees the frame. *)
+            if st.forgetful then st.pages.(victim) <- Fresh
+            else if ok then st.pages.(victim) <- Swapped
+            else mark_lost st victim;
+            Freed r.pfn
+          end
+        | `Clean_already ->
           st.evictions <- st.evictions + 1;
-          st.pages.(victim) <- Wb_pending { pfn = r.pfn };
-          Policy.Writeback.enqueue st.wb ~page:victim ~blok ~frame:r.pfn;
-          Parked
-        end
-        else begin
-          write_now st blok;
-          st.evictions <- st.evictions + 1;
-          (* The paging-out experiment's driver forgets the disk copy. *)
-          st.pages.(victim) <- (if st.forgetful then Fresh else Swapped);
-          Freed r.pfn
-        end
-      end
-      else begin
-        st.evictions <- st.evictions + 1;
-        st.pages.(victim) <- Swapped;
-        Freed r.pfn
-      end
-    | Fresh | Swapped | Wb_pending _ ->
+          st.pages.(victim) <- Swapped;
+          Freed r.pfn))
+    | Fresh | Swapped | Wb_pending _ | Lost ->
       (* The policy's probe guarantees victims are resident. *)
       No_victim)
 
@@ -316,6 +404,9 @@ let fast st (fault : Fault.t) =
         if try_rescue st page then Stretch_driver.Success
         else Stretch_driver.Retry
       | Swapped -> Stretch_driver.Retry (* needs disk: worker path *)
+      | Lost ->
+        metric_inc st "sd.lost_faults";
+        Stretch_driver.Failure "page contents lost to media error"
       | Fresh ->
         (match take_pool st with
         | Some pfn ->
@@ -323,9 +414,48 @@ let fast st (fault : Fault.t) =
           Stretch_driver.Success
         | None -> Stretch_driver.Retry))
 
+(* Swap-exhaustion degradation, rung 2: shed pool frames the domain
+   holds beyond its guarantee back to the allocator. With the bitmap
+   dry the domain cannot clean dirty pages, so optimistic frames it
+   may later be asked to revoke are a liability — holding onto them
+   risks a missed deadline and a kill. *)
+let shed_optimistic st =
+  let env = st.env in
+  let client = env.Stretch_driver.frames_client in
+  let g = Frames.guarantee client in
+  let freed = ref 0 in
+  while Frames.held client > g && st.pool <> [] do
+    match take_pool st with
+    | Some pfn ->
+      Frames.free env.Stretch_driver.frames client pfn;
+      incr freed
+    | None -> ()
+  done;
+  if !freed > 0 then begin
+    st.shed <- st.shed + !freed;
+    metric_add st "sd.shed_frames" !freed
+  end
+
+(* Swap-exhaustion degradation, rung 1: only victims needing no
+   cleaning can yield a frame. Bounded by the resident count — each
+   probe either frees a frame or re-inserts a dirty page, and a full
+   cycle through the residents proves there is nothing clean left. *)
+let evict_clean_scan st =
+  let budget = ref (st.repl.Policy.Replacement.residents ()) in
+  let found = ref None in
+  while !found = None && !budget > 0 do
+    decr budget;
+    match evict_one ~no_clean:true st with
+    | Freed pfn -> found := Some pfn
+    | No_victim -> budget := 0
+    | Parked | Swap_full -> ()
+  done;
+  !found
+
 (* Get a frame by any means: pool, allocator, eviction — flushing the
    write-behind buffer when that is what stands between us and a free
-   frame. *)
+   frame, and degrading to clean-only eviction when the blok bitmap is
+   exhausted. *)
 let obtain_frame st =
   let env = st.env in
   match take_pool st with
@@ -347,6 +477,20 @@ let obtain_frame st =
             | None -> try_evict ()
           end
           else try_evict ()
+        | Swap_full -> (
+          (* Typed degradation ladder instead of the old abort: scan
+             for a victim that needs no cleaning; failing that, drain
+             the write-behind buffer (parked frames come back to the
+             pool); failing that, the fault fails — a domain fault,
+             not a simulator crash. *)
+          match evict_clean_scan st with
+          | Some pfn -> Some pfn
+          | None ->
+            if Policy.Writeback.pending st.wb > 0 then begin
+              flush_wb st;
+              take_pool st
+            end
+            else None)
         | No_victim ->
           if Policy.Writeback.pending st.wb > 0 then begin
             flush_wb st;
@@ -417,23 +561,41 @@ let fetch_extras st parent extras =
         | ((first, _) :: _ as got) ->
           incr txns;
           let sp = span_start st ?parent "usd.read" in
-          Usbs.Sfs.read_pages st.swap
-            ~page_index:st.blok_of_page.(first)
-            ~npages:(List.length got);
+          let r =
+            Usbs.Sfs.read_pages st.swap
+              ~page_index:st.blok_of_page.(first)
+              ~npages:(List.length got)
+          in
           span_finish sp;
+          let lost_blok =
+            match r with
+            | Ok () -> fun _ -> false
+            | Error `Retired -> fun _ -> true
+            | Error (`Lost_pages l) -> fun b -> List.mem b l
+          in
+          let mapped = ref 0 in
           List.iter
             (fun (p, f) ->
-              let va = Stretch.page_base (the_stretch st) p in
-              Stretch_driver.map_page env va ~pfn:f;
-              st.pages.(p) <-
-                Resident
-                  { pfn = f; clean_on_disk = true; dirty_latched = false;
-                    via_prefetch = true };
-              st.repl.Policy.Replacement.insert p;
-              Frame_stack.move_to_bottom (stack st) f)
+              if lost_blok st.blok_of_page.(p) then begin
+                (* Speculative read of a bad blok: the page is gone,
+                   the frame is not. *)
+                (match r with Error `Retired -> () | _ -> mark_lost st p);
+                st.pool <- f :: st.pool
+              end
+              else begin
+                let va = Stretch.page_base (the_stretch st) p in
+                Stretch_driver.map_page env va ~pfn:f;
+                st.pages.(p) <-
+                  Resident
+                    { pfn = f; clean_on_disk = true; dirty_latched = false;
+                      via_prefetch = true };
+                st.repl.Policy.Replacement.insert p;
+                Frame_stack.move_to_bottom (stack st) f;
+                incr mapped
+              end)
             got;
-          st.prefetched <- st.prefetched + List.length got;
-          metric_add st "policy.prefetched" (List.length got)
+          st.prefetched <- st.prefetched + !mapped;
+          metric_add st "policy.prefetched" !mapped
       end)
     chains
 
@@ -447,15 +609,24 @@ let full st (fault : Fault.t) =
     | Mmu.Page_fault ->
       let env = st.env in
       let page = Stretch.page_index (the_stretch st) fault.va in
-      (match st.pages.(page) with
+      (* Bounded re-examination: blocking on disk (or a concurrent
+         worker's flush) can flip the page's state under this worker;
+         re-examine instead of failing. A Wb_pending page whose rescue
+         misses has been flipped to Swapped at the instant its run's
+         write was issued (see [flush_wb]), so the next examination
+         takes the disk path. The bound is defensive. *)
+      let rec resolve attempt =
+        if attempt > 8 then
+          Stretch_driver.Failure "fault resolution livelock"
+        else
+      match st.pages.(page) with
       | Resident _ -> Stretch_driver.Success
+      | Lost ->
+        metric_inc st "sd.lost_faults";
+        Stretch_driver.Failure "page contents lost to media error"
       | Wb_pending _ ->
-        (* A Wb_pending page is parked — a flush flips it to Swapped
-           at the very instant its write is issued (see [flush_wb]) —
-           so the rescue always succeeds; the failure arm is a
-           driver-invariant check, not a reachable outcome. *)
         if try_rescue st page then Stretch_driver.Success
-        else Stretch_driver.Failure "write-behind entry lost"
+        else resolve (attempt + 1)
       | Fresh ->
         (match obtain_frame st with
         | Some pfn ->
@@ -513,29 +684,63 @@ let full st (fault : Fault.t) =
                 then extras := p :: !extras)
             candidates;
           let sp = span_start st ?parent:fault.Fault.span "usd.read" in
-          Usbs.Sfs.read_pages st.swap ~page_index:blok0 ~npages:!run;
+          let r = Usbs.Sfs.read_pages st.swap ~page_index:blok0 ~npages:!run in
           span_finish sp;
+          let lost_blok =
+            match r with
+            | Ok () -> fun _ -> false
+            | Error `Retired -> fun _ -> true
+            | Error (`Lost_pages l) -> fun b -> List.mem b l
+          in
           let mp = span_start st ?parent:fault.Fault.span "map" in
+          let mapped_extra = ref 0 in
           List.iter
             (fun (p, f) ->
-              let va = Stretch.page_base (the_stretch st) p in
-              Stretch_driver.map_page env va ~pfn:f;
-              st.pages.(p) <-
-                Resident
-                  { pfn = f; clean_on_disk = true; dirty_latched = false;
-                    via_prefetch = p <> page };
-              st.repl.Policy.Replacement.insert p;
-              Frame_stack.move_to_bottom (stack st) f)
+              if lost_blok st.blok_of_page.(p) then begin
+                (* The blok under this page of the run is gone; its
+                   frame goes back to the pool. *)
+                (match r with Error `Retired -> () | _ -> mark_lost st p);
+                st.pool <- f :: st.pool
+              end
+              else begin
+                let va = Stretch.page_base (the_stretch st) p in
+                Stretch_driver.map_page env va ~pfn:f;
+                st.pages.(p) <-
+                  Resident
+                    { pfn = f; clean_on_disk = true; dirty_latched = false;
+                      via_prefetch = p <> page };
+                st.repl.Policy.Replacement.insert p;
+                Frame_stack.move_to_bottom (stack st) f;
+                if p <> page then incr mapped_extra
+              end)
             (List.rev !frames);
           span_finish mp;
           st.tick <- st.tick + 1;
-          st.page_ins <- st.page_ins + 1;
-          st.prefetched <- st.prefetched + (!run - 1);
-          metric_inc st "policy.page_in";
-          metric_add st "policy.prefetched" (!run - 1);
-          fetch_extras st fault.Fault.span (List.rev !extras);
-          Stretch_driver.Success
-        | None -> Stretch_driver.Failure "no frame obtainable"))
+          st.prefetched <- st.prefetched + !mapped_extra;
+          metric_add st "policy.prefetched" !mapped_extra;
+          if lost_blok blok0 then begin
+            (* The demanded page itself is unrecoverable: a domain
+               fault, not a simulator abort. *)
+            metric_inc st "sd.lost_faults";
+            match r with
+            | Error `Retired ->
+              Stretch_driver.Failure "backing store retired"
+            | _ -> Stretch_driver.Failure "page contents lost to media error"
+          end
+          else begin
+            st.page_ins <- st.page_ins + 1;
+            metric_inc st "policy.page_in";
+            fetch_extras st fault.Fault.span (List.rev !extras);
+            Stretch_driver.Success
+          end
+        | None -> Stretch_driver.Failure "no frame obtainable")
+      in
+      let outcome = resolve 0 in
+      (* Swap-exhaustion degradation, rung 2 (see [shed_optimistic]):
+         while the bitmap is dry, surplus pool frames are a kill risk
+         under revocation — give them back promptly. *)
+      if st.swap_exhausted then shed_optimistic st;
+      outcome
 
 (* Revocation: expose pool frames, then flush parked writes and evict
    residents (cleaning dirty pages first). *)
@@ -560,6 +765,19 @@ let relinquish st ~want =
     | Parked ->
       flush_wb st;
       give_pool ()
+    | Swap_full -> (
+      (* Dirty residents cannot be cleaned any more: give what the
+         write-behind buffer still holds, then only clean victims. *)
+      if Policy.Writeback.pending st.wb > 0 then begin
+        flush_wb st;
+        give_pool ()
+      end
+      else
+        match evict_clean_scan st with
+        | Some pfn ->
+          Frame_stack.move_to_top (stack st) pfn;
+          incr given
+        | None -> continue_ := false)
     | No_victim ->
       if Policy.Writeback.pending st.wb > 0 then begin
         flush_wb st;
@@ -587,28 +805,40 @@ let drop_page st p =
     | _ -> ());
     let dirty = Pte.dirty pte || r.dirty_latched in
     let must_clean = st.forgetful || dirty || not r.clean_on_disk in
-    metric_inc st "policy.evict";
-    st.evictions <- st.evictions + 1;
-    if must_clean then begin
-      let blok = blok_for st p in
-      if Policy.Writeback.enabled st.wb then begin
-        st.pages.(p) <- Wb_pending { pfn = r.pfn };
-        Policy.Writeback.enqueue st.wb ~page:p ~blok ~frame:r.pfn;
-        (* Keep the buffer bounded even across a huge Dontneed range
-           (obtain_frame applies the same rule). *)
-        if Policy.Writeback.full st.wb then flush_wb st
+    let blok = if must_clean then blok_for st p else None in
+    if must_clean && blok = None then begin
+      (* Swap exhausted: the advice cannot be honoured for a dirty
+         page — keep it resident rather than lose it. *)
+      if Pte.dirty pte then r.dirty_latched <- true;
+      Stretch_driver.map_page env va ~pfn:r.pfn;
+      st.repl.Policy.Replacement.insert p
+    end
+    else begin
+      metric_inc st "policy.evict";
+      st.evictions <- st.evictions + 1;
+      if must_clean then begin
+        let blok = Option.get blok in
+        if wb_on st then begin
+          st.pages.(p) <- Wb_pending { pfn = r.pfn };
+          Policy.Writeback.enqueue st.wb ~page:p ~blok ~frame:r.pfn;
+          (* Keep the buffer bounded even across a huge Dontneed range
+             (obtain_frame applies the same rule). *)
+          if Policy.Writeback.full st.wb then flush_wb st
+        end
+        else begin
+          let ok = write_now st ~page:p blok in
+          if st.forgetful then st.pages.(p) <- Fresh
+          else if ok then st.pages.(p) <- Swapped
+          else mark_lost st p;
+          st.pool <- r.pfn :: st.pool
+        end
       end
       else begin
-        write_now st blok;
-        st.pages.(p) <- (if st.forgetful then Fresh else Swapped);
+        st.pages.(p) <- Swapped;
         st.pool <- r.pfn :: st.pool
       end
     end
-    else begin
-      st.pages.(p) <- Swapped;
-      st.pool <- r.pfn :: st.pool
-    end
-  | Fresh | Swapped | Wb_pending _ -> ()
+  | Fresh | Swapped | Wb_pending _ | Lost -> ()
 
 let advise_st st adv =
   st.tick <- st.tick + 1;
@@ -635,11 +865,13 @@ type handle = {
   h_info : unit -> info;
   h_advise : Policy.Advice.t -> unit;
   h_policy : string;
+  h_extent : unit -> int * int;
 }
 
 let info h = h.h_info ()
 let advise h adv = h.h_advise adv
 let policy_name h = h.h_policy
+let swap_extent h = h.h_extent ()
 
 let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
     ?(policy = Policy.Spec.default) ~swap env =
@@ -654,17 +886,51 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
       bitmap = Bloks.create ~nbloks:(max 1 (Usbs.Sfs.page_capacity swap));
       stretch = None; pages = [||]; blok_of_page = [||]; pool = [];
       tick = 0; page_ins = 0; page_outs = 0; demand_zeros = 0; evictions = 0;
-      prefetched = 0; prefetch_hits = 0; prefetch_waste = 0; rescues = 0 }
+      prefetched = 0; prefetch_hits = 0; prefetch_waste = 0; rescues = 0;
+      lost_pages = 0; rebloks = 0; shed = 0; degraded_sync = false;
+      swap_exhausted = false }
   in
   tick_ref := (fun () -> st.tick);
   st.wb <-
     Policy.Writeback.create ~max_batch:spec.Policy.Spec.wb_batch
       ~write:(fun ~blok ~nbloks ->
         let sp = span_start st "usd.write" in
-        Usbs.Sfs.write_pages st.swap ~page_index:blok ~npages:nbloks;
+        let r = Usbs.Sfs.write_pages st.swap ~page_index:blok ~npages:nbloks in
         span_finish sp;
-        st.page_outs <- st.page_outs + nbloks;
-        metric_add st "policy.page_out" nbloks;
+        let lost =
+          match r with
+          | Ok () -> []
+          | Error `Retired -> []
+          | Error (`Lost_pages l) -> l
+        in
+        (match lost with
+        | [] -> ()
+        | lost ->
+          (* Parked data gone: by flush time the frames are committed
+             for release, so no rewrite source remains. Mark the
+             owning pages, answer each lost slot's final error in the
+             accounting, and fall back to synchronous write-through —
+             write-behind has shown it can lose data here. *)
+          let n = Array.length st.blok_of_page in
+          List.iter
+            (fun bad ->
+              Inject.note_killed "sd.wb";
+              let rec find i =
+                if i >= n then ()
+                else if st.blok_of_page.(i) = bad then (
+                  match st.pages.(i) with
+                  | Swapped -> mark_lost st i
+                  | _ -> ())
+                else find (i + 1)
+              in
+              find 0)
+            lost;
+          if not st.degraded_sync then begin
+            st.degraded_sync <- true;
+            metric_inc st "sd.wb_degraded"
+          end);
+        st.page_outs <- st.page_outs + nbloks - List.length lost;
+        metric_add st "policy.page_out" (nbloks - List.length lost);
         metric_inc st "policy.wb_flush")
       ();
   let shortfall = ref 0 in
@@ -696,6 +962,12 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
                 prefetch_hits = st.prefetch_hits;
                 prefetch_waste = st.prefetch_waste;
                 wb_flushes = Policy.Writeback.flushes st.wb;
-                rescues = st.rescues });
+                rescues = st.rescues; lost_pages = st.lost_pages;
+                rebloks = st.rebloks; shed_frames = st.shed;
+                wb_degraded = st.degraded_sync;
+                swap_exhausted = st.swap_exhausted });
           h_advise = advise_st st;
-          h_policy = pname } )
+          h_policy = pname;
+          h_extent =
+            (fun () ->
+              (Usbs.Sfs.extent_start swap, Usbs.Sfs.extent_blocks swap)) } )

@@ -62,6 +62,21 @@ type info = {
   rescues : int;
       (** faults satisfied from the write-behind buffer (cancelled
           write, remapped frame, no disk I/O) *)
+  lost_pages : int;
+      (** pages whose contents were lost to media errors after every
+          recovery rung (retry, spare remap, re-blok) was exhausted;
+          a later fault on such a page is a domain fault *)
+  rebloks : int;
+      (** pages re-sited to a fresh blok after their blok went bad
+          (on top of the USBS's own spare-slot remapping) *)
+  shed_frames : int;
+      (** pool frames returned to the allocator by the swap-exhaustion
+          degradation (optimistic holdings above the guarantee) *)
+  wb_degraded : bool;
+      (** write-behind lost parked data once and the driver fell back
+          to synchronous write-through (sticky) *)
+  swap_exhausted : bool;
+      (** the blok bitmap ran dry at least once (sticky) *)
 }
 
 type handle
@@ -78,6 +93,10 @@ val advise : handle -> Policy.Advice.t -> unit
     a notification handler). *)
 
 val policy_name : handle -> string
+
+val swap_extent : handle -> int * int
+(** [(first_lba, nblocks)] of the swap file's disk extent — the range
+    a fault-injection plan scopes its bad bloks to. *)
 
 val create :
   ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->

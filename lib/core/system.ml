@@ -114,6 +114,7 @@ let namespace t = t.names
 let cpu t = t.the_cpu
 let mmu t = t.the_mmu
 let translation t = t.the_translation
+let ramtab t = t.ramtab
 let stretch_allocator t = t.salloc
 let frames t = t.the_frames
 let disk t = t.dm
@@ -227,11 +228,12 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
             Usbs.Usd.retire d.sys.the_usd client);
         Ok (driver, info)))
 
-let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ~swap_bytes
-    ~qos s () =
+let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
+    ~swap_bytes ~qos s () =
   match
     Usbs.Sfs.open_swap d.sys.the_sfs
-      ~name:(Domains.name d.dom ^ ".swap") ~bytes:swap_bytes ~qos
+      ~name:(Domains.name d.dom ^ ".swap") ~bytes:swap_bytes ~qos ?spare_pages
+      ()
   with
   | Error _ as e -> e
   | Ok swap ->

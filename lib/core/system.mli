@@ -57,6 +57,11 @@ val config : t -> config
 val cpu : t -> Cpu.t
 val mmu : t -> Mmu.t
 val translation : t -> Translation.t
+
+(** The frame-ownership table — read-only introspection (e.g. the
+    chaos experiment verifying a killed domain's frames were
+    reclaimed). *)
+val ramtab : t -> Ramtab.t
 val stretch_allocator : t -> Stretch_allocator.t
 val frames : t -> Frames.t
 val disk : t -> Disk_model.t
@@ -106,12 +111,13 @@ val bind_physical :
 
 val bind_paged :
   domain -> ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
-  ?policy:Policy.Spec.t ->
+  ?policy:Policy.Spec.t -> ?spare_pages:int ->
   swap_bytes:int -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
   (Stretch_driver.t * Sd_paged.handle, string) result
 (** Opens a swap file on the SFS (negotiating the disk QoS), creates a
     paged driver under [policy] (default: the seed FIFO/write-through
-    behaviour) and binds it. *)
+    behaviour) and binds it. [spare_pages] reserves bad-blok remap
+    spares in the swap extent (see {!Usbs.Sfs.open_swap}). *)
 
 val bind_mapped :
   domain -> mode:Sd_mapped.mode -> ?initial_frames:int ->

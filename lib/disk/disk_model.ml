@@ -76,12 +76,9 @@ let mechanical_service t ~now ~lba ~nblocks =
   t.mechanical <- t.mechanical + 1;
   p.Disk_params.controller_overhead + seek + rot_wait + xfer
 
-let service t ~now ~op ~lba ~nblocks =
-  if nblocks <= 0 then invalid_arg "Disk_model.service: nblocks <= 0";
-  if lba < 0 || lba + nblocks > t.p.Disk_params.nblocks then
-    invalid_arg
-      (Printf.sprintf "Disk_model.service: range [%d,%d) out of bounds" lba
-         (lba + nblocks));
+type error = { bad_lba : int; persistent : bool }
+
+let serve t ~now ~op ~lba ~nblocks =
   match op with
   | Write ->
     (* Write cache disabled (the paper's configuration): every write is
@@ -107,6 +104,35 @@ let service t ~now ~op ~lba ~nblocks =
       touch t seg;
       seg.next <- lba + nblocks;
       dur)
+
+let service_result t ~now ~op ~lba ~nblocks =
+  if nblocks <= 0 then invalid_arg "Disk_model.service: nblocks <= 0";
+  if lba < 0 || lba + nblocks > t.p.Disk_params.nblocks then
+    invalid_arg
+      (Printf.sprintf "Disk_model.service: range [%d,%d) out of bounds" lba
+         (lba + nblocks));
+  let inj_op =
+    match op with Read -> Inject.Read | Write -> Inject.Write
+  in
+  match Inject.disk ~op:inj_op ~lba ~nblocks with
+  | Inject.Pass -> Ok (serve t ~now ~op ~lba ~nblocks)
+  | Inject.Spike extra -> Ok (serve t ~now ~op ~lba ~nblocks + extra)
+  | Inject.Media_error { bad_lba; persistent } ->
+    (* The head still travels and the sector is still attempted (for a
+       persistent error the drive retries internally, costing at least
+       as much as a clean transfer), so the mechanical time is paid. *)
+    let dur = serve t ~now ~op ~lba ~nblocks in
+    Error (dur, { bad_lba; persistent })
+
+let service t ~now ~op ~lba ~nblocks =
+  match service_result t ~now ~op ~lba ~nblocks with
+  | Ok dur -> dur
+  | Error (_, e) ->
+    (* Only reachable under an armed injection plan; hardened callers
+       use [service_result]. *)
+    failwith
+      (Printf.sprintf "Disk_model.service: injected media error at lba %d"
+         e.bad_lba)
 
 let cache_hits t = t.cache_hits
 let mechanical_ops t = t.mechanical

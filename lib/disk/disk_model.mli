@@ -29,10 +29,27 @@ val create : ?params:Disk_params.t -> unit -> t
 
 val params : t -> Disk_params.t
 
-val service : t -> now:Time.t -> op:op -> lba:int -> nblocks:int -> Time.span
+type error = { bad_lba : int; persistent : bool }
+(** A media error injected by {!Inject}: the LBA that failed, and
+    whether retrying can possibly succeed. *)
+
+val service_result :
+  t ->
+  now:Time.t ->
+  op:op ->
+  lba:int ->
+  nblocks:int ->
+  (Time.span, Time.span * error) result
 (** Time to complete the transaction starting at [now], updating head
-    position and cache state. Raises [Invalid_argument] if the block
-    range is outside the disk. *)
+    position and cache state. [Error (elapsed, e)] reports an injected
+    media error; [elapsed] is the mechanical time burned discovering it
+    (the head still travels, the drive still retries internally).
+    Raises [Invalid_argument] if the block range is outside the disk. *)
+
+val service : t -> now:Time.t -> op:op -> lba:int -> nblocks:int -> Time.span
+(** [service_result] for callers that predate the error path; raises
+    [Failure] on an injected media error (unreachable while {!Inject}
+    is disarmed). *)
 
 (** {2 Introspection} *)
 

@@ -211,7 +211,7 @@ let run_shared ~duration =
   let swap =
     match
       Usbs.Sfs.open_swap (System.sfs sys) ~name:"kernel.swap"
-        ~bytes:(8 * 1024 * 1024) ~qos
+        ~bytes:(8 * 1024 * 1024) ~qos ()
     with
     | Ok s -> s
     | Error e -> failwith e

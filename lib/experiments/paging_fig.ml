@@ -161,7 +161,8 @@ let print_trace r =
          (fun (_, ev) ->
            match ev with
            | Usbs.Usd.Txn { client; _ } | Usbs.Usd.Lax { client; _ }
-           | Usbs.Usd.Alloc { client } | Usbs.Usd.Slack { client; _ } ->
+           | Usbs.Usd.Alloc { client } | Usbs.Usd.Slack { client; _ }
+           | Usbs.Usd.Txn_error { client; _ } ->
              Some client)
          r.trace_window)
   in

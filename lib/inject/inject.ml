@@ -1,0 +1,268 @@
+open Engine
+
+type disk_op = Read | Write
+
+type blok_fault = {
+  bf_first : int;
+  bf_len : int;
+  bf_op : disk_op option;
+  bf_transient : int option;
+}
+
+type region_fault = {
+  rf_first : int;
+  rf_len : int;
+  rf_read_error : float;
+  rf_write_error : float;
+  rf_spike : float;
+  rf_spike_span : Time.span;
+}
+
+type stall = { st_rate : float; st_span : Time.span }
+
+type chan_fault = {
+  cf_drop : float;
+  cf_delay : float;
+  cf_delay_span : Time.span;
+}
+
+type pressure = { pr_period : Time.span; pr_hold : Time.span }
+
+type plan = {
+  seed : int;
+  blok_faults : blok_fault list;
+  regions : region_fault list;
+  stalls : (string * stall) list;
+  chans : (string * chan_fault) list;
+  pressure : pressure option;
+}
+
+let default_plan =
+  {
+    seed = 0;
+    blok_faults = [];
+    regions = [];
+    stalls = [];
+    chans = [];
+    pressure = None;
+  }
+
+let enabled = ref false
+let the_plan = ref default_plan
+let rng = ref (Rng.create ~seed:0)
+
+(* Transient blok faults fail the first [k] transactions that touch the
+   range, then heal; one decrementing counter per fault entry. *)
+let transient_left : (blok_fault, int) Hashtbl.t = Hashtbl.create 7
+
+type tally = {
+  injected_errors : int;
+  spikes : int;
+  stalls_injected : int;
+  chan_drops : int;
+  chan_delays : int;
+  pressure_bursts : int;
+  retried : int;
+  remapped : int;
+  degraded : int;
+  killed : int;
+}
+
+let zero_tally =
+  {
+    injected_errors = 0;
+    spikes = 0;
+    stalls_injected = 0;
+    chan_drops = 0;
+    chan_delays = 0;
+    pressure_bursts = 0;
+    retried = 0;
+    remapped = 0;
+    degraded = 0;
+    killed = 0;
+  }
+
+let counts = ref zero_tally
+let classes : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let bump_class cls =
+  let n = try Hashtbl.find classes cls with Not_found -> 0 in
+  Hashtbl.replace classes cls (n + 1)
+
+let metric name = Obs.Metrics.inc ("inject." ^ name)
+
+let reset () =
+  rng := Rng.create ~seed:!the_plan.seed;
+  counts := zero_tally;
+  Hashtbl.reset transient_left;
+  Hashtbl.reset classes;
+  List.iter
+    (fun bf ->
+      match bf.bf_transient with
+      | Some k -> Hashtbl.replace transient_left bf k
+      | None -> ())
+    !the_plan.blok_faults
+
+let arm plan =
+  the_plan := plan;
+  enabled := true;
+  reset ()
+
+let disarm () = enabled := false
+let plan () = !the_plan
+
+(* -- hooks ------------------------------------------------------------ *)
+
+type disk_outcome =
+  | Pass
+  | Spike of Time.span
+  | Media_error of { bad_lba : int; persistent : bool }
+
+let overlaps ~first ~len ~lba ~nblocks =
+  lba < first + len && first < lba + nblocks
+
+let chance p = p > 0. && Rng.float !rng 1.0 < p
+
+let op_matches bf op =
+  match bf.bf_op with None -> true | Some o -> o = op
+
+let note_error ~op ~persistent =
+  counts := { !counts with injected_errors = !counts.injected_errors + 1 };
+  let dir = match op with Read -> "read" | Write -> "write" in
+  let kind = if persistent then "persistent" else "transient" in
+  bump_class (Printf.sprintf "disk.%s.%s" dir kind);
+  metric "errors";
+  metric (Printf.sprintf "errors.%s.%s" dir kind)
+
+let disk ~op ~lba ~nblocks =
+  if not !enabled then Pass
+  else
+    (* Bad-blok ranges take precedence over probabilistic regions. *)
+    let hit =
+      List.find_opt
+        (fun bf ->
+          op_matches bf op
+          && overlaps ~first:bf.bf_first ~len:bf.bf_len ~lba ~nblocks)
+        !the_plan.blok_faults
+    in
+    match hit with
+    | Some bf -> (
+        let bad_lba = max lba bf.bf_first in
+        match bf.bf_transient with
+        | None ->
+            note_error ~op ~persistent:true;
+            Media_error { bad_lba; persistent = true }
+        | Some _ ->
+            let left =
+              try Hashtbl.find transient_left bf with Not_found -> 0
+            in
+            if left > 0 then begin
+              Hashtbl.replace transient_left bf (left - 1);
+              note_error ~op ~persistent:false;
+              Media_error { bad_lba; persistent = false }
+            end
+            else Pass)
+    | None -> (
+        let region =
+          List.find_opt
+            (fun rf ->
+              overlaps ~first:rf.rf_first ~len:rf.rf_len ~lba ~nblocks)
+            !the_plan.regions
+        in
+        match region with
+        | None -> Pass
+        | Some rf ->
+            let err_p =
+              match op with
+              | Read -> rf.rf_read_error
+              | Write -> rf.rf_write_error
+            in
+            if chance err_p then begin
+              note_error ~op ~persistent:false;
+              Media_error
+                { bad_lba = lba + Rng.int !rng (max 1 nblocks);
+                  persistent = false }
+            end
+            else if chance rf.rf_spike then begin
+              counts := { !counts with spikes = !counts.spikes + 1 };
+              bump_class "disk.spike";
+              metric "spikes";
+              Spike rf.rf_spike_span
+            end
+            else Pass)
+
+let stall ~site =
+  if not !enabled then None
+  else
+    match List.assoc_opt site !the_plan.stalls with
+    | None -> None
+    | Some st ->
+        if chance st.st_rate then begin
+          counts :=
+            { !counts with stalls_injected = !counts.stalls_injected + 1 };
+          bump_class ("stall." ^ site);
+          metric "stalls";
+          Some st.st_span
+        end
+        else None
+
+type chan_outcome = Deliver | Drop | Delay of Time.span
+
+let chan ~name =
+  if not !enabled then Deliver
+  else
+    match List.assoc_opt name !the_plan.chans with
+    | None -> Deliver
+    | Some cf ->
+        if chance cf.cf_drop then begin
+          counts := { !counts with chan_drops = !counts.chan_drops + 1 };
+          bump_class ("chan.drop." ^ name);
+          metric "chan_drops";
+          Drop
+        end
+        else if chance cf.cf_delay then begin
+          counts := { !counts with chan_delays = !counts.chan_delays + 1 };
+          bump_class ("chan.delay." ^ name);
+          metric "chan_delays";
+          Delay cf.cf_delay_span
+        end
+        else Deliver
+
+let pressure () = if not !enabled then None else !the_plan.pressure
+
+(* -- recovery accounting --------------------------------------------- *)
+
+let note_retried cls =
+  counts := { !counts with retried = !counts.retried + 1 };
+  metric "retried";
+  metric ("retried." ^ cls)
+
+let note_remapped cls =
+  counts := { !counts with remapped = !counts.remapped + 1 };
+  metric "remapped";
+  metric ("remapped." ^ cls)
+
+let note_degraded cls =
+  counts := { !counts with degraded = !counts.degraded + 1 };
+  metric "degraded";
+  metric ("degraded." ^ cls)
+
+let note_killed cls =
+  counts := { !counts with killed = !counts.killed + 1 };
+  metric "killed";
+  metric ("killed." ^ cls)
+
+let note_pressure_burst () =
+  counts :=
+    { !counts with pressure_bursts = !counts.pressure_bursts + 1 };
+  metric "pressure_bursts"
+
+let tally () = !counts
+
+let accounted () =
+  let t = !counts in
+  t.injected_errors = t.retried + t.remapped + t.degraded + t.killed
+
+let by_class () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) classes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,156 @@
+(** Deterministic, seeded fault injection.
+
+    The chaos layer of the reproduction: a process-global {e plan}
+    describes which faults to inject — bad-blok ranges on the disk,
+    random transient media errors and latency spikes inside an LBA
+    region, stalls of named USD clients, delivery delay/drop on named
+    event channels, and frame-allocator pressure spikes — and the
+    instrumented subsystems ({!Disk.Disk_model}, {!Usbs.Usd},
+    {!Usbs.Sfs}, {!Core.Event_chan}, {!Core.Domains}) consult it at
+    their injection points.
+
+    Like {!Obs}, the subsystem is off by default and every hook is
+    guarded by {!enabled}, so the disarmed path costs one flag read
+    and injecting nothing is bit-for-bit the seed behaviour.
+
+    {b Determinism.} All randomness comes from one {!Engine.Rng}
+    stream seeded by the plan; in a simulated run the sequence of hook
+    calls is a pure function of the seed, so two runs with the same
+    plan produce identical injections (asserted by the chaos
+    determinism test).
+
+    {b Accounting.} Every injected {e media error} must be answered by
+    exactly one recovery action in the layer that caught it: a retry
+    ({!note_retried}), a bad-blok remap ({!note_remapped}), a
+    degradation such as splitting a coalesced transaction or falling
+    back to synchronous writeback ({!note_degraded}), or data loss
+    that ultimately kills the touching thread ({!note_killed}). The
+    chaos experiment checks the books:
+    [injected = retried + remapped + degraded + killed].
+    Latency spikes, stalls, channel drops/delays and pressure bursts
+    need no recovery and are tallied separately. *)
+
+open Engine
+
+type disk_op = Read | Write
+
+type blok_fault = {
+  bf_first : int;  (** first LBA of the bad range *)
+  bf_len : int;  (** number of bloks *)
+  bf_op : disk_op option;  (** [None] = both directions *)
+  bf_transient : int option;
+      (** [Some k]: the first [k] transactions touching each blok of
+          the range fail, later ones succeed (a marginal sector that
+          needs retries); [None]: permanently bad. *)
+}
+
+type region_fault = {
+  rf_first : int;
+  rf_len : int;
+  rf_read_error : float;  (** transient-error probability per read *)
+  rf_write_error : float;
+  rf_spike : float;  (** latency-spike probability per transaction *)
+  rf_spike_span : Time.span;
+}
+
+type stall = {
+  st_rate : float;  (** probability per consultation, 1.0 = always *)
+  st_span : Time.span;
+}
+
+type chan_fault = {
+  cf_drop : float;  (** probability a notification is dropped *)
+  cf_delay : float;  (** probability it is delayed instead *)
+  cf_delay_span : Time.span;
+}
+
+type pressure = {
+  pr_period : Time.span;  (** time between allocation bursts *)
+  pr_hold : Time.span;  (** how long a burst holds its frames *)
+}
+
+type plan = {
+  seed : int;
+  blok_faults : blok_fault list;
+  regions : region_fault list;
+  stalls : (string * stall) list;  (** keyed by USD client / site name *)
+  chans : (string * chan_fault) list;  (** keyed by event-channel name *)
+  pressure : pressure option;  (** consumed by the chaos gremlin *)
+}
+
+val default_plan : plan
+(** Seed 0, nothing injected. *)
+
+val enabled : bool ref
+(** Do not write directly; use {!arm}/{!disarm}. *)
+
+val arm : plan -> unit
+(** Install the plan, reseed the RNG, clear counters, enable hooks. *)
+
+val disarm : unit -> unit
+(** Disable every hook (the plan is kept for inspection). *)
+
+val reset : unit -> unit
+(** Reseed from the armed plan and clear counters — two [arm]-[reset]
+    runs of the same workload inject identically. *)
+
+val plan : unit -> plan
+
+(** {2 Hooks (called by instrumented subsystems)} *)
+
+type disk_outcome =
+  | Pass
+  | Spike of Time.span  (** serve, but this much slower *)
+  | Media_error of { bad_lba : int; persistent : bool }
+
+val disk : op:disk_op -> lba:int -> nblocks:int -> disk_outcome
+(** Consulted once per disk transaction. Counts what it injects. *)
+
+val stall : site:string -> Time.span option
+(** A stall to insert at the named site (USD client, revocation
+    handler, ...), if the plan targets it and the dice say so. *)
+
+type chan_outcome = Deliver | Drop | Delay of Time.span
+
+val chan : name:string -> chan_outcome
+
+val pressure : unit -> pressure option
+
+(** {2 Recovery accounting (called by the hardened layers)} *)
+
+val note_retried : string -> unit
+(** One injected error answered by a retry (the class string labels
+    the site, e.g. ["sfs.read"]). *)
+
+val note_remapped : string -> unit
+val note_degraded : string -> unit
+val note_killed : string -> unit
+
+(** {2 Introspection} *)
+
+type tally = {
+  injected_errors : int;  (** media errors injected *)
+  spikes : int;
+  stalls_injected : int;
+  chan_drops : int;
+  chan_delays : int;
+  pressure_bursts : int;
+  retried : int;
+  remapped : int;
+  degraded : int;
+  killed : int;
+}
+
+val tally : unit -> tally
+
+val accounted : unit -> bool
+(** [injected_errors = retried + remapped + degraded + killed] — every
+    injected media error met exactly one recovery action. Only
+    meaningful once in-flight I/O has drained. *)
+
+val note_pressure_burst : unit -> unit
+(** Called by the chaos gremlin once per burst. *)
+
+val by_class : unit -> (string * int) list
+(** Injection counts per class (e.g. ["disk.write.persistent"]),
+    sorted by class name. *)

@@ -1,4 +1,3 @@
-open Engine
 open Disk
 
 type file = {
@@ -67,10 +66,28 @@ let read_page_async t f ~client ~page_index =
   Usd.submit t.u client Usd.Read ~lba:(lba_of_page f page_index)
     ~nblocks:f.page_blocks
 
-let read_page t f ~client ~page_index =
-  Sync.Ivar.read (read_page_async t f ~client ~page_index)
+(* File-store clients (the Fig. 7/8 streamers) have no recovery story
+   of their own: retry transient errors a few times, give up loudly on
+   anything worse. *)
+let rw t f ~client op ~page_index =
+  let rec go ~attempt =
+    match
+      Usd.transact t.u client op ~lba:(lba_of_page f page_index)
+        ~nblocks:f.page_blocks
+    with
+    | Ok () -> ()
+    | Error (`Media m) when (not m.Usd.persistent) && attempt < 3 ->
+      Inject.note_retried "file_store";
+      go ~attempt:(attempt + 1)
+    | Error (`Media m) ->
+      Inject.note_killed "file_store";
+      failwith
+        (Printf.sprintf "File_store: unrecoverable media error at lba %d"
+           m.Usd.bad_lba)
+    | Error `Cancelled | Error `Retired ->
+      failwith "File_store: client retired"
+  in
+  go ~attempt:0
 
-let write_page t f ~client ~page_index =
-  Sync.Ivar.read
-    (Usd.submit t.u client Usd.Write ~lba:(lba_of_page f page_index)
-       ~nblocks:f.page_blocks)
+let read_page t f ~client ~page_index = rw t f ~client Usd.Read ~page_index
+let write_page t f ~client ~page_index = rw t f ~client Usd.Write ~page_index

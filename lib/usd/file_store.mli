@@ -33,6 +33,12 @@ val lba_of_page : file -> int -> int
 (** {2 Data path (caller-supplied USD client)} *)
 
 val read_page : t -> file -> client:Usd.client -> page_index:int -> unit
+(** Retries transient media errors a few times; raises [Failure] on an
+    unrecoverable error or a retired client (file-store clients have no
+    degradation path of their own). *)
+
 val write_page : t -> file -> client:Usd.client -> page_index:int -> unit
+
 val read_page_async :
-  t -> file -> client:Usd.client -> page_index:int -> unit Sync.Ivar.t
+  t -> file -> client:Usd.client -> page_index:int ->
+  (Usd.status Sync.Ivar.t, [ `Retired ]) result

@@ -8,10 +8,24 @@ type swapfile = {
   ext : Extents.extent;
   client : Usd.client;
   page_blocks : int;
+  data_pages : int;
+  spare_pages : int;
+  (* Bad-blok remapping: data page slot -> spare slot (both indices
+     into the extent). Installed when a write hits a persistent media
+     error; subsequent reads and writes of the page go to the spare. *)
+  remap : (int, int) Hashtbl.t;
+  mutable spares_used : int;
+  mutable remapped : int;
+  mutable retries : int;
+  mutable lost : int;
   mutable closed : bool;
 }
 
 let page_bytes = 8192
+
+(* Bounded retry-with-backoff for transient media errors. *)
+let max_retries = 4
+let backoff_base = Time.of_ms_float 1.0
 
 let create ?(first_block = 0) ?nblocks u =
   let total = (Disk_model.params (Usd.disk u)).Disk_params.nblocks in
@@ -22,11 +36,12 @@ let create ?(first_block = 0) ?nblocks u =
 
 let free_blocks t = Extents.free_blocks t.extents
 
-let open_swap t ~name ~bytes ~qos =
+let open_swap t ~name ~bytes ~qos ?(spare_pages = 0) () =
+  if spare_pages < 0 then invalid_arg "Sfs.open_swap: spare_pages < 0";
   let block_size = (Disk_model.params (Usd.disk t.u)).Disk_params.block_size in
   let page_blocks = page_bytes / block_size in
   let pages = (bytes + page_bytes - 1) / page_bytes in
-  let len = pages * page_blocks in
+  let len = (pages + spare_pages) * page_blocks in
   match Extents.alloc t.extents ~len with
   | None -> Error (Printf.sprintf "no extent of %d blocks available" len)
   | Some ext ->
@@ -34,7 +49,11 @@ let open_swap t ~name ~bytes ~qos =
     | Error e ->
       Extents.free t.extents ext;
       Error e
-    | Ok client -> Ok { fs = t; ext; client; page_blocks; closed = false })
+    | Ok client ->
+      Ok
+        { fs = t; ext; client; page_blocks; data_pages = pages;
+          spare_pages; remap = Hashtbl.create 7; spares_used = 0;
+          remapped = 0; retries = 0; lost = 0; closed = false })
 
 let close_swap t sf =
   if not sf.closed then begin
@@ -45,13 +64,137 @@ let close_swap t sf =
 
 let extent_blocks sf = sf.ext.Extents.len
 let extent_start sf = sf.ext.Extents.start
-let page_capacity sf = sf.ext.Extents.len / sf.page_blocks
+let page_capacity sf = sf.data_pages
 let usd_client sf = sf.client
+let retry_count sf = sf.retries
+let remap_count sf = sf.remapped
+let lost_count sf = sf.lost
+
+(* Slot -> LBA, through the remap table. Spare slots live at the tail
+   of the extent, past the data pages. *)
+let slot_of_page sf page_index =
+  match Hashtbl.find_opt sf.remap page_index with
+  | Some spare -> spare
+  | None -> page_index
 
 let lba_of_page sf page_index =
   if page_index < 0 || page_index >= page_capacity sf then
     invalid_arg "Sfs: page index out of extent";
-  sf.ext.Extents.start + (page_index * sf.page_blocks)
+  sf.ext.Extents.start + (slot_of_page sf page_index * sf.page_blocks)
+
+let try_remap sf page_index =
+  if sf.spares_used >= sf.spare_pages then None
+  else begin
+    let spare = sf.data_pages + sf.spares_used in
+    sf.spares_used <- sf.spares_used + 1;
+    Hashtbl.replace sf.remap page_index spare;
+    sf.remapped <- sf.remapped + 1;
+    Some spare
+  end
+
+type io_error = [ `Lost_pages of int list | `Retired ]
+
+let op_class = function Usd.Read -> "sfs.read" | Usd.Write -> "sfs.write"
+
+(* Single-page transaction with the full recovery ladder. Every media
+   error coming back is answered by exactly one accounting note:
+   transient with retries left -> retry (with exponential backoff);
+   persistent write with a spare left -> remap and rewrite; anything
+   else -> the page's contents are gone. *)
+let rw_page sf op ~page_index =
+  let rec go ~attempt =
+    match
+      Usd.transact sf.fs.u sf.client op ~lba:(lba_of_page sf page_index)
+        ~nblocks:sf.page_blocks
+    with
+    | Ok () -> Ok ()
+    | Error `Retired | Error `Cancelled -> Error `Retired
+    | Error (`Media m) ->
+      if (not m.Usd.persistent) && attempt < max_retries then begin
+        sf.retries <- sf.retries + 1;
+        Inject.note_retried (op_class op);
+        Proc.sleep (backoff_base * (1 lsl attempt));
+        go ~attempt:(attempt + 1)
+      end
+      else if m.Usd.persistent && op = Usd.Write then begin
+        match try_remap sf page_index with
+        | Some _ ->
+          Inject.note_remapped (op_class op);
+          (* Fresh attempt budget at the spare location. *)
+          go ~attempt:0
+        | None ->
+          (* Spares dry. The caller still holds the data and may
+             re-site the page elsewhere (Sd_paged re-bloks), so the
+             final answer to this error — remap or kill — is the
+             caller's to account. *)
+          sf.lost <- sf.lost + 1;
+          Error (`Lost_pages [ page_index ])
+      end
+      else begin
+        sf.lost <- sf.lost + 1;
+        (match op with
+        | Usd.Read ->
+          (* Persistent read error (the sector under the data is
+             gone) or a marginal sector that outlasted the retry
+             budget: no layer above can conjure the data back. *)
+          Inject.note_killed (op_class op)
+        | Usd.Write ->
+          (* Transient-exhausted write: as above, the caller decides
+             and accounts. *)
+          ());
+        Error (`Lost_pages [ page_index ])
+      end
+  in
+  go ~attempt:0
+
+(* Multi-page transaction: tried as one coalesced transfer; if any
+   blok in the span errors, degrade to page-at-a-time so healthy pages
+   still move and only genuinely bad ones are lost. *)
+let rw_pages sf op ~page_index ~npages =
+  if npages <= 0 then invalid_arg "Sfs: npages <= 0";
+  if page_index + npages > page_capacity sf then
+    invalid_arg "Sfs: beyond extent";
+  let coalesced_ok =
+    (* A remapped page breaks contiguity; go page-at-a-time. *)
+    npages = 1
+    || not
+         (List.exists
+            (fun i -> Hashtbl.mem sf.remap i)
+            (List.init npages (fun i -> page_index + i)))
+  in
+  let split () =
+    let lost = ref [] in
+    let retired = ref false in
+    for i = page_index to page_index + npages - 1 do
+      if not !retired then
+        match rw_page sf op ~page_index:i with
+        | Ok () -> ()
+        | Error `Retired -> retired := true
+        | Error (`Lost_pages l) -> lost := !lost @ l
+    done;
+    if !retired then Error `Retired
+    else match !lost with [] -> Ok () | l -> Error (`Lost_pages l)
+  in
+  if npages = 1 then rw_page sf op ~page_index
+  else if not coalesced_ok then split ()
+  else
+    match
+      Usd.transact sf.fs.u sf.client op ~lba:(lba_of_page sf page_index)
+        ~nblocks:(npages * sf.page_blocks)
+    with
+    | Ok () -> Ok ()
+    | Error `Retired | Error `Cancelled -> Error `Retired
+    | Error (`Media _) ->
+      (* One injected error answered by one degradation: the coalesced
+         transaction is abandoned and re-issued page-at-a-time. *)
+      Inject.note_degraded (op_class op);
+      split ()
+
+let read_page sf ~page_index = rw_page sf Usd.Read ~page_index
+let write_page sf ~page_index = rw_page sf Usd.Write ~page_index
+let read_pages sf ~page_index ~npages = rw_pages sf Usd.Read ~page_index ~npages
+let write_pages sf ~page_index ~npages =
+  rw_pages sf Usd.Write ~page_index ~npages
 
 let read_page_async sf ~page_index =
   Usd.submit sf.fs.u sf.client Usd.Read ~lba:(lba_of_page sf page_index)
@@ -60,24 +203,3 @@ let read_page_async sf ~page_index =
 let write_page_async sf ~page_index =
   Usd.submit sf.fs.u sf.client Usd.Write ~lba:(lba_of_page sf page_index)
     ~nblocks:sf.page_blocks
-
-let read_page sf ~page_index = Sync.Ivar.read (read_page_async sf ~page_index)
-
-let write_page sf ~page_index =
-  Sync.Ivar.read (write_page_async sf ~page_index)
-
-let read_pages sf ~page_index ~npages =
-  if npages <= 0 then invalid_arg "Sfs.read_pages: npages <= 0";
-  if page_index + npages > page_capacity sf then
-    invalid_arg "Sfs.read_pages: beyond extent";
-  Sync.Ivar.read
-    (Usd.submit sf.fs.u sf.client Usd.Read ~lba:(lba_of_page sf page_index)
-       ~nblocks:(npages * sf.page_blocks))
-
-let write_pages sf ~page_index ~npages =
-  if npages <= 0 then invalid_arg "Sfs.write_pages: npages <= 0";
-  if page_index + npages > page_capacity sf then
-    invalid_arg "Sfs.write_pages: beyond extent";
-  Sync.Ivar.read
-    (Usd.submit sf.fs.u sf.client Usd.Write ~lba:(lba_of_page sf page_index)
-       ~nblocks:(npages * sf.page_blocks))

@@ -20,10 +20,14 @@ val create : ?first_block:int -> ?nblocks:int -> Usd.t -> t
     the whole disk). *)
 
 val open_swap :
-  t -> name:string -> bytes:int -> qos:Qos.t -> (swapfile, string) result
+  t -> name:string -> bytes:int -> qos:Qos.t -> ?spare_pages:int -> unit ->
+  (swapfile, string) result
 (** Allocate an extent of at least [bytes] and admit a USD client with
     the given guarantee. Fails when disk space or disk bandwidth is
-    exhausted. *)
+    exhausted. [spare_pages] (default 0) reserves extra page slots at
+    the extent tail for bad-blok remapping: when a write hits a
+    persistent media error the page is transparently relocated to a
+    spare and the remap consulted by every later access. *)
 
 val close_swap : t -> swapfile -> unit
 (** Return the extent to the free pool and retire the USD client. *)
@@ -35,24 +39,55 @@ val free_blocks : t -> int
 val extent_blocks : swapfile -> int
 val extent_start : swapfile -> int
 val page_capacity : swapfile -> int
-(** Number of whole pages the extent can hold. *)
+(** Number of whole data pages the extent can hold (spares excluded). *)
 
-val read_page : swapfile -> page_index:int -> unit
+type io_error = [ `Lost_pages of int list | `Retired ]
+(** [`Lost_pages l]: the recovery ladder (bounded retry with backoff,
+    then bad-blok remap for persistent write errors) was exhausted and
+    the listed page slots' contents are unrecoverable. [`Retired]: the
+    swapfile's USD client went away under the operation.
+
+    {!Inject} accounting: read losses are noted ([note_killed]) here —
+    no caller can conjure the data back. A {e write} loss is not: the
+    caller still holds the source frame and may re-site the page
+    (note_remapped) or give it up (note_killed); answering the final
+    error is the caller's duty, exactly once per listed slot. *)
+
+val read_page : swapfile -> page_index:int -> (unit, io_error) result
 (** Synchronous page-sized read of the extent's [page_index]-th page
     slot, scheduled under the swapfile's guarantee. Blocks the calling
-    process for the transaction's duration. *)
+    process for the transaction's duration (including any retries). *)
 
-val write_page : swapfile -> page_index:int -> unit
+val write_page : swapfile -> page_index:int -> (unit, io_error) result
 
-val read_page_async : swapfile -> page_index:int -> unit Sync.Ivar.t
-val write_page_async : swapfile -> page_index:int -> unit Sync.Ivar.t
+val read_page_async :
+  swapfile -> page_index:int -> (Usd.status Sync.Ivar.t, [ `Retired ]) result
+(** Raw submission — no retry/remap ladder; prefetchers that can shrug
+    off a failed speculative read use these. *)
 
-val read_pages : swapfile -> page_index:int -> npages:int -> unit
+val write_page_async :
+  swapfile -> page_index:int -> (Usd.status Sync.Ivar.t, [ `Retired ]) result
+
+val read_pages :
+  swapfile -> page_index:int -> npages:int -> (unit, io_error) result
 (** One disk transaction covering [npages] consecutive page slots —
-    the stream-paging extension reads ahead with this. *)
+    the stream-paging extension reads ahead with this. On a media
+    error the coalesced transfer degrades to page-at-a-time so healthy
+    pages still move and only genuinely bad slots are reported lost. *)
 
-val write_pages : swapfile -> page_index:int -> npages:int -> unit
+val write_pages :
+  swapfile -> page_index:int -> npages:int -> (unit, io_error) result
 (** One disk transaction writing [npages] consecutive page slots —
-    write-behind coalesces batched dirty evictions with this. *)
+    write-behind coalesces batched dirty evictions with this. Degrades
+    like {!read_pages}. *)
 
 val usd_client : swapfile -> Usd.client
+
+val retry_count : swapfile -> int
+(** Transient-error retries performed so far. *)
+
+val remap_count : swapfile -> int
+(** Pages relocated to spare slots so far. *)
+
+val lost_count : swapfile -> int
+(** Page slots declared unrecoverable so far. *)

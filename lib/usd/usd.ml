@@ -4,9 +4,15 @@ open Disk
 
 type op = Read | Write
 
+type media = { bad_lba : int; persistent : bool }
+type txn_error = Media of media | Cancelled
+type status = (unit, txn_error) result
+
 type event =
   | Txn of { client : string; op : op; lba : int; nblocks : int;
              dur : Time.span }
+  | Txn_error of { client : string; op : op; lba : int; nblocks : int;
+                   dur : Time.span; media : media }
   | Alloc of { client : string }
   | Lax of { client : string; dur : Time.span }
   | Slack of { client : string; op : op; dur : Time.span }
@@ -15,7 +21,7 @@ type request = {
   op : op;
   lba : int;
   nblocks : int;
-  completion : unit Sync.Ivar.t;
+  completion : status Sync.Ivar.t;
 }
 
 type client = {
@@ -106,21 +112,36 @@ let replenish t ~now =
 let execute_txn t (c : client) ~slack =
   let req = Io_channel.recv c.channel in
   if Io_channel.is_empty c.channel then c.backlogged_since <- None;
+  (* Injected client stall: the client's driver domain is wedged (e.g.
+     a user-level pager not responding). The disk head is not held —
+     the stall burns the client's own CPU-side time and is charged to
+     its disk budget, so other clients' EDF schedules are untouched. *)
+  (if !Inject.enabled then
+     match Inject.stall ~site:(client_name c) with
+     | None -> ()
+     | Some d ->
+       Proc.sleep d;
+       if slack then Edf.charge_slack c.edf d else Edf.charge c.edf d);
   let now = Sim.now t.sim in
-  let dur =
-    Disk_model.service t.dm ~now
+  let result =
+    Disk_model.service_result t.dm ~now
       ~op:(match req.op with Read -> Disk_model.Read | Write -> Disk_model.Write)
       ~lba:req.lba ~nblocks:req.nblocks
   in
+  let dur = match result with Ok d -> d | Error (d, _) -> d in
   Proc.sleep dur;
   if slack then Edf.charge_slack c.edf dur else Edf.charge c.edf dur;
   c.txns <- c.txns + 1;
   c.bytes <- c.bytes + (req.nblocks * (Disk_model.params t.dm).Disk_params.block_size);
   c.lax_left <- c.cqos.Qos.laxity;
   let ev =
-    if slack then
-      Slack { client = client_name c; op = req.op; dur }
-    else
+    match result with
+    | Error (_, { Disk_model.bad_lba; persistent }) ->
+      Txn_error { client = client_name c; op = req.op; lba = req.lba;
+                  nblocks = req.nblocks; dur;
+                  media = { bad_lba; persistent } }
+    | Ok _ when slack -> Slack { client = client_name c; op = req.op; dur }
+    | Ok _ ->
       Txn { client = client_name c; op = req.op; lba = req.lba;
             nblocks = req.nblocks; dur }
   in
@@ -132,9 +153,15 @@ let execute_txn t (c : client) ~slack =
     in
     Obs.Metrics.add ~label "usd.bytes" nbytes;
     Obs.Metrics.inc ~label (if slack then "usd.slack_txns" else "usd.txns");
+    (match result with
+    | Error _ -> Obs.Metrics.inc ~label "usd.txn_errors"
+    | Ok _ -> ());
     Obs.Metrics.observe ~label "usd.txn_us" (float_of_int dur /. 1e3)
   end;
-  Sync.Ivar.fill req.completion ()
+  match result with
+  | Ok _ -> Sync.Ivar.fill req.completion (Ok ())
+  | Error (_, { Disk_model.bad_lba; persistent }) ->
+    Sync.Ivar.fill req.completion (Error (Media { bad_lba; persistent }))
 
 (* The earliest-deadline runnable client has no transaction pending:
    it holds the disk for up to its remaining lax allowance (bounded by
@@ -229,20 +256,42 @@ let retire t (c : client) =
   c.live <- false;
   Edf.remove t.edf c.edf;
   t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  (* Unblock waiters: requests still queued will never be scheduled. *)
+  while not (Io_channel.is_empty c.channel) do
+    let req = Io_channel.recv c.channel in
+    Sync.Ivar.fill req.completion (Error Cancelled)
+  done;
+  c.backlogged_since <- None;
   Sync.Waitq.broadcast t.kick
 
 let submit t (c : client) op ~lba ~nblocks =
-  if not c.live then failwith "Usd.submit: client retired";
-  let completion = Sync.Ivar.create () in
-  if Io_channel.is_empty c.channel then
-    c.backlogged_since <- Some (Sim.now t.sim);
-  Io_channel.send c.channel { op; lba; nblocks; completion };
-  Sync.Waitq.broadcast t.kick;
-  completion
+  if not c.live then Error `Retired
+  else begin
+    let completion = Sync.Ivar.create () in
+    if Io_channel.is_empty c.channel then
+      c.backlogged_since <- Some (Sim.now t.sim);
+    Io_channel.send c.channel { op; lba; nblocks; completion };
+    Sync.Waitq.broadcast t.kick;
+    Ok completion
+  end
 
 let transact t c op ~lba ~nblocks =
-  let completion = submit t c op ~lba ~nblocks in
-  Sync.Ivar.read completion
+  match submit t c op ~lba ~nblocks with
+  | Error `Retired -> Error `Retired
+  | Ok completion -> (
+    match Sync.Ivar.read completion with
+    | Ok () -> Ok ()
+    | Error (Media m) -> Error (`Media m)
+    | Error Cancelled -> Error `Cancelled)
+
+let transact_exn t c op ~lba ~nblocks =
+  match transact t c op ~lba ~nblocks with
+  | Ok () -> ()
+  | Error `Retired -> failwith "Usd.transact_exn: client retired"
+  | Error `Cancelled -> failwith "Usd.transact_exn: cancelled"
+  | Error (`Media m) ->
+    failwith
+      (Printf.sprintf "Usd.transact_exn: media error at lba %d" m.bad_lba)
 
 let pp_op ppf = function
   | Read -> Format.pp_print_string ppf "R"
@@ -252,6 +301,10 @@ let pp_event ppf = function
   | Txn { client; op; lba; nblocks; dur } ->
     Format.fprintf ppf "txn %s %a lba=%d n=%d dur=%a" client pp_op op lba
       nblocks Time.pp_span dur
+  | Txn_error { client; op; lba; nblocks; dur; media } ->
+    Format.fprintf ppf "txn-error %s %a lba=%d n=%d dur=%a bad=%d%s" client
+      pp_op op lba nblocks Time.pp_span dur media.bad_lba
+      (if media.persistent then " persistent" else "")
   | Alloc { client } -> Format.fprintf ppf "alloc %s" client
   | Lax { client; dur } ->
     Format.fprintf ppf "lax %s dur=%a" client Time.pp_span dur

@@ -26,9 +26,20 @@ open Disk
 
 type op = Read | Write
 
+type media = { bad_lba : int; persistent : bool }
+(** An injected media error surfaced to the client. *)
+
+type txn_error =
+  | Media of media
+  | Cancelled  (** client was retired with the request still queued *)
+
+type status = (unit, txn_error) result
+
 type event =
   | Txn of { client : string; op : op; lba : int; nblocks : int;
              dur : Time.span }
+  | Txn_error of { client : string; op : op; lba : int; nblocks : int;
+                   dur : Time.span; media : media }
   | Alloc of { client : string }
   | Lax of { client : string; dur : Time.span }
   | Slack of { client : string; op : op; dur : Time.span }
@@ -51,12 +62,23 @@ val admit :
 val retire : t -> client -> unit
 
 val submit :
-  t -> client -> op -> lba:int -> nblocks:int -> unit Sync.Ivar.t
+  t -> client -> op -> lba:int -> nblocks:int ->
+  (status Sync.Ivar.t, [ `Retired ]) result
 (** Enqueue a transaction on the client's IO channel (blocking if the
-    channel is full) and return the completion ivar. *)
+    channel is full) and return the completion ivar. A retired client
+    gets [Error `Retired] instead of an exception: user-level pagers
+    race retirement and must be able to handle the loss. *)
 
-val transact : t -> client -> op -> lba:int -> nblocks:int -> unit
-(** [submit] then wait for completion. *)
+val transact :
+  t -> client -> op -> lba:int -> nblocks:int ->
+  (unit, [ `Media of media | `Cancelled | `Retired ]) result
+(** [submit] then wait for completion, with the two error layers
+    flattened into one polymorphic variant. *)
+
+val transact_exn : t -> client -> op -> lba:int -> nblocks:int -> unit
+(** [transact] for callers with no recovery story; raises [Failure] on
+    any error (unreachable while {!Inject} is disarmed and the client
+    is never retired mid-flight). *)
 
 val client_name : client -> string
 val qos : client -> Qos.t

@@ -34,6 +34,7 @@ let sustained_mbit t =
 let paging_info t = Sd_paged.info t.handle
 let policy_name t = Sd_paged.policy_name t.handle
 let advise t adv = Sd_paged.advise t.handle adv
+let swap_extent t = Sd_paged.swap_extent t.handle
 
 let measured_accesses t =
   match !(t.start_info) with
@@ -53,7 +54,12 @@ let measured_info t =
       prefetch_hits = now.prefetch_hits - s.prefetch_hits;
       prefetch_waste = now.prefetch_waste - s.prefetch_waste;
       wb_flushes = now.wb_flushes - s.wb_flushes;
-      rescues = now.rescues - s.rescues }
+      rescues = now.rescues - s.rescues;
+      lost_pages = now.lost_pages - s.lost_pages;
+      rebloks = now.rebloks - s.rebloks;
+      shed_frames = now.shed_frames - s.shed_frames;
+      wb_degraded = now.wb_degraded;
+      swap_exhausted = now.swap_exhausted }
 
 let stop t = Domains.kill t.d.System.dom
 
@@ -125,13 +131,13 @@ let run_app t ~mode ~compute_per_page =
     loop ()
 
 let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
-    ?(phys_frames = 2) ?(swap_bytes = 16 * 1024 * 1024)
+    ?(phys_frames = 2) ?(optimistic = 0) ?(swap_bytes = 16 * 1024 * 1024)
     ?(compute_per_page = Time.us 20) ?(sample_period = Time.sec 5)
-    ?(cpu_slice = Time.of_ms_float 1.5) ?readahead ?policy
+    ?(cpu_slice = Time.of_ms_float 1.5) ?readahead ?policy ?spare_pages
     ?(pattern = Sequential) ?(advice = []) () =
   match
     System.add_domain sys ~name ~cpu_period:(Time.ms 10) ~cpu_slice
-      ~guarantee:phys_frames ~optimistic:0 ()
+      ~guarantee:phys_frames ~optimistic ()
   with
   | Error _ as e -> e
   | Ok d ->
@@ -147,7 +153,7 @@ let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
         (Domains.spawn_thread d.System.dom ~name:"main" (fun () ->
              match
                System.bind_paged d ~forgetful ~initial_frames:phys_frames
-                 ?readahead ?policy ~swap_bytes ~qos stretch ()
+                 ?readahead ?policy ?spare_pages ~swap_bytes ~qos stretch ()
              with
              | Error e -> Sync.Ivar.fill started (Error e)
              | Ok (_driver, handle) ->

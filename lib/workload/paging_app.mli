@@ -34,13 +34,16 @@ type t
 
 val start :
   System.t -> name:string -> mode:mode -> qos:Usbs.Qos.t ->
-  ?vm_bytes:int -> ?phys_frames:int -> ?swap_bytes:int ->
+  ?vm_bytes:int -> ?phys_frames:int -> ?optimistic:int -> ?swap_bytes:int ->
   ?compute_per_page:Time.span -> ?sample_period:Time.span ->
   ?cpu_slice:Time.span -> ?readahead:int -> ?policy:Policy.Spec.t ->
-  ?pattern:pattern -> ?advice:Policy.Advice.t list -> unit ->
-  (t, string) result
+  ?spare_pages:int -> ?pattern:pattern -> ?advice:Policy.Advice.t list ->
+  unit -> (t, string) result
 (** [advice] is applied through the driver's advice channel right
-    after binding, before the first access. *)
+    after binding, before the first access. [optimistic] (default 0)
+    registers an optimistic frame quota beyond the guarantee —
+    revocation-storm fodder for the chaos experiment. [spare_pages]
+    reserves bad-blok remap spares in the swap extent. *)
 
 val domain : t -> System.domain
 val bytes_processed : t -> int
@@ -54,6 +57,10 @@ val loop_started_at : t -> Time.t option
 val paging_info : t -> Sd_paged.info
 val policy_name : t -> string
 val advise : t -> Policy.Advice.t -> unit
+
+val swap_extent : t -> int * int
+(** [(first_lba, nblocks)] of the app's swap extent — what a chaos
+    plan scopes its disk faults to. *)
 
 val measured_accesses : t -> int
 (** Page accesses made since the measured loop began (0 before). *)

@@ -405,7 +405,7 @@ let writeback_coalesces_usd_txns () =
       let wb =
         Policy.Writeback.create ~max_batch:8
           ~write:(fun ~blok ~nbloks ->
-            Usbs.Usd.transact usd client Usbs.Usd.Write
+            Usbs.Usd.transact_exn usd client Usbs.Usd.Write
               ~lba:(Usbs.File_store.lba_of_page file blok)
               ~nblocks:(nbloks * 16))
           ()

@@ -167,7 +167,7 @@ let usd_period_charge_bounded () =
   ignore
     (Proc.spawn sim (fun () ->
          let rec loop i =
-           Usbs.Usd.transact u c Usbs.Usd.Write ~lba:(i * 16 mod 500_000)
+           Usbs.Usd.transact_exn u c Usbs.Usd.Write ~lba:(i * 16 mod 500_000)
              ~nblocks:16;
            loop (i + 1)
          in
@@ -183,6 +183,7 @@ let usd_period_charge_bounded () =
         current := 0
       | Usbs.Usd.Txn { dur; _ } -> current := !current + dur
       | Usbs.Usd.Lax { dur; _ } -> current := !current + dur
+      | Usbs.Usd.Txn_error { dur; _ } -> current := !current + dur
       | Usbs.Usd.Slack _ -> ())
     (Usbs.Usd.trace u);
   (* A client may finish one transaction that started with little time

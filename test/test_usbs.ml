@@ -81,7 +81,7 @@ let usd_single_client_txn () =
   ignore
     (Proc.spawn sim (fun () ->
          for i = 0 to 9 do
-           Usd.transact u c Usd.Read ~lba:(i * 16) ~nblocks:16;
+           Usd.transact_exn u c Usd.Read ~lba:(i * 16) ~nblocks:16;
            incr completions
          done));
   Sim.run ~until:(Time.sec 2) sim;
@@ -100,7 +100,7 @@ let usd_edf_shares () =
   let writer client region () =
     let pos = ref 0 in
     let rec loop () =
-      Usd.transact u client Usd.Write ~lba:(region + !pos) ~nblocks:16;
+      Usd.transact_exn u client Usd.Write ~lba:(region + !pos) ~nblocks:16;
       pos := (!pos + 16) mod 100_000;
       loop ()
     in
@@ -129,7 +129,7 @@ let usd_laxity_bounded () =
   ignore
     (Proc.spawn sim (fun () ->
          for i = 0 to 49 do
-           Usd.transact u c Usd.Read ~lba:(i * 16) ~nblocks:16;
+           Usd.transact_exn u c Usd.Read ~lba:(i * 16) ~nblocks:16;
            Proc.sleep (Time.ms 3)
          done));
   Sim.run ~until:(Time.sec 5) sim;
@@ -153,7 +153,7 @@ let usd_short_block_problem () =
   ignore
     (Proc.spawn sim (fun () ->
          let rec loop i =
-           Usd.transact u c Usd.Read ~lba:(i * 16) ~nblocks:16;
+           Usd.transact_exn u c Usd.Read ~lba:(i * 16) ~nblocks:16;
            Proc.sleep (Time.ms 3);
            loop (i + 1)
          in
@@ -170,7 +170,7 @@ let usd_rollover_carry () =
     (Proc.spawn sim (fun () ->
          let rec loop i =
            (* ~11 ms writes: always overruns the tail of the slice. *)
-           Usd.transact u c Usd.Write ~lba:(i * 16 mod 1_000_000) ~nblocks:16;
+           Usd.transact_exn u c Usd.Write ~lba:(i * 16 mod 1_000_000) ~nblocks:16;
            loop (i + 1)
          in
          loop 0));
@@ -189,7 +189,7 @@ let usd_slack_events () =
   ignore
     (Proc.spawn sim (fun () ->
          let rec loop i =
-           Usd.transact u c Usd.Read ~lba:(i * 16 mod 1_000_000) ~nblocks:16;
+           Usd.transact_exn u c Usd.Read ~lba:(i * 16 mod 1_000_000) ~nblocks:16;
            loop (i + 1)
          in
          loop 0));
@@ -206,7 +206,7 @@ let usd_allocation_trace () =
   let c = admit_exn u ~name:"a" ~qos:q in
   ignore
     (Proc.spawn sim (fun () ->
-         Usd.transact u c Usd.Read ~lba:0 ~nblocks:16));
+         Usd.transact_exn u c Usd.Read ~lba:0 ~nblocks:16));
   Sim.run ~until:(Time.of_ms_float 2600.0) sim;
   let allocs = ref 0 in
   Trace.iter
@@ -227,7 +227,7 @@ let sfs_extent_allocation () =
   let _, _, fs = mk_sfs () in
   let q = Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 25) () in
   let sf1 =
-    match Sfs.open_swap fs ~name:"a" ~bytes:(1024 * 1024) ~qos:q with
+    match Sfs.open_swap fs ~name:"a" ~bytes:(1024 * 1024) ~qos:q () with
     | Ok s -> s
     | Error e -> failwith e
   in
@@ -235,7 +235,7 @@ let sfs_extent_allocation () =
   check "extent blocks" (128 * 16) (Sfs.extent_blocks sf1);
   let before = Sfs.free_blocks fs in
   let sf2 =
-    match Sfs.open_swap fs ~name:"b" ~bytes:(512 * 1024) ~qos:q with
+    match Sfs.open_swap fs ~name:"b" ~bytes:(512 * 1024) ~qos:q () with
     | Ok s -> s
     | Error e -> failwith e
   in
@@ -249,7 +249,7 @@ let sfs_space_exhaustion () =
   let _, _, fs = mk_sfs () in
   let q = Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 1) () in
   (* The region holds 1,000,000 blocks = 512 MB; ask for more. *)
-  match Sfs.open_swap fs ~name:"big" ~bytes:(1_100_000 * 512) ~qos:q with
+  match Sfs.open_swap fs ~name:"big" ~bytes:(1_100_000 * 512) ~qos:q () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "oversized extent accepted"
 
@@ -257,15 +257,19 @@ let sfs_data_path () =
   let sim, _, fs = mk_sfs () in
   let q = Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
   let sf =
-    match Sfs.open_swap fs ~name:"a" ~bytes:(256 * 1024) ~qos:q with
+    match Sfs.open_swap fs ~name:"a" ~bytes:(256 * 1024) ~qos:q () with
     | Ok s -> s
     | Error e -> failwith e
   in
   let ok = ref false in
   ignore
     (Proc.spawn sim (fun () ->
-         Sfs.write_page sf ~page_index:3;
-         Sfs.read_page sf ~page_index:3;
+         (match Sfs.write_page sf ~page_index:3 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "write_page failed");
+         (match Sfs.read_page sf ~page_index:3 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "read_page failed");
          ok := true));
   Sim.run ~until:(Time.sec 1) sim;
   checkb "write+read completed" true !ok;
@@ -285,7 +289,7 @@ let extents_no_overlap =
             match
               Sfs.open_swap fs
                 ~name:(string_of_int pages)
-                ~bytes:(pages * 8192) ~qos:q
+                ~bytes:(pages * 8192) ~qos:q ()
             with
             | Ok s -> Some s
             | Error _ -> None)
