@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos smoke chaos fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash smoke chaos crash fmt check clean
 
 all: build
 
@@ -18,6 +18,10 @@ bench-policy:
 # Regenerate the machine-readable chaos (fault-injection) verdict.
 bench-chaos:
 	dune exec bench/main.exe -- chaos
+
+# Regenerate the machine-readable crash-recovery verdict.
+bench-crash:
+	dune exec bench/main.exe -- crash
 
 # Quick end-to-end run of the policy-compare figure (two contrasting
 # policies, short duration).
@@ -39,7 +43,13 @@ fmt:
 chaos:
 	dune exec bin/nemesis_sim.exe -- chaos -d 20
 
-check: fmt build test smoke chaos
+# Crash-consistency run: seeded torn writes against the victim's swap
+# and the intent journal, remount/replay and domain restart asserted
+# (non-zero exit if a committed page is lost or a bystander suffers).
+crash:
+	dune exec bin/nemesis_sim.exe -- crash-recover --rounds 2
+
+check: fmt build test smoke chaos crash
 	@echo "check OK"
 
 clean:

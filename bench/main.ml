@@ -317,12 +317,30 @@ let run_chaos () =
     (fun () -> output_string oc (Experiments.Chaos.to_json r));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Part 5: the crash-recovery verdict ---------------------------- *)
+
+(* Seeded crash/remount/restart rounds; the JSON record keeps the
+   recovery accounting (records replayed, torn records quarantined,
+   pages restored vs lost) diffable across revisions. *)
+let run_crash () =
+  let r = Experiments.Crash_recover.run () in
+  Experiments.Crash_recover.print r;
+  flush stdout;
+  let path = "BENCH_crash.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Experiments.Crash_recover.to_json r));
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   match Sys.argv with
   | [| _; "policy" |] -> run_policy ()
   | [| _; "chaos" |] -> run_chaos ()
+  | [| _; "crash" |] -> run_crash ()
   | _ ->
     run_bechamel ();
     run_experiments ();
     run_policy ();
-    run_chaos ()
+    run_chaos ();
+    run_crash ()

@@ -255,6 +255,35 @@ let chaos_cmd =
           victim, with two clean domains as the control group")
     Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
 
+let crash_recover_cmd =
+  let seed =
+    let doc = "Simulation and fault-injection seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let rounds =
+    let doc = "Crash/remount/restart rounds to run." in
+    Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc = "Also write the recovery verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run obs seed rounds json =
+    with_obs obs (fun () ->
+        let r = Crash_recover.run ~seed ~rounds () in
+        Crash_recover.print r;
+        Option.iter (fun path -> write_file path (Crash_recover.to_json r)) json;
+        if not (Crash_recover.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "crash-recover"
+       ~doc:
+         "Crash consistency and restart: tear the victim's writes at \
+          seeded points (data extent and intent journal), remount and \
+          replay the journal, respawn the domain and restore its \
+          committed pages — with two clean domains as the control group")
+    Term.(const run $ obs_args $ seed $ rounds $ json)
+
 let all_cmd =
   let run obs d =
     with_obs obs (fun () ->
@@ -276,7 +305,8 @@ let all_cmd =
         Net_iso.print_kernel_crosstalk
           (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
         List.iter (run_ablation (min d 120)) ablation_names;
-        Chaos.print (Chaos.run ~duration:(sec (min d 30)) ()))
+        Chaos.print (Chaos.run ~duration:(sec (min d 30)) ());
+        Crash_recover.print (Crash_recover.run ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
     Term.(const run $ obs_args $ duration_arg 240)
@@ -290,6 +320,6 @@ let main =
   in
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
-      policy_compare_cmd; ablate_cmd; chaos_cmd; all_cmd ]
+      policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -71,7 +71,7 @@ let attach t client stretch ?(swap_bytes = 16 * 1024 * 1024)
         (Printf.sprintf "pager.%s.swap" (Domains.name client.System.dom))
       ~bytes:swap_bytes ~qos:t.swap_qos ()
   with
-  | Error _ as e -> e
+  | Error e -> Error (Usbs.Sfs.open_error_message e)
   | Ok swap ->
     (* The backing driver runs entirely on pager resources. *)
     (match

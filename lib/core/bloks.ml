@@ -75,6 +75,21 @@ let is_allocated t blok =
   | Some c ->
     Int64.logand (Int64.shift_right_logical c.bits (blok - c.base)) 1L = 1L
 
+let claim t blok =
+  match find_chunk t blok with
+  | None -> invalid_arg "Bloks.claim: blok out of range"
+  | Some c ->
+    let bit = blok - c.base in
+    if Int64.logand (Int64.shift_right_logical c.bits bit) 1L = 1L then false
+    else begin
+      c.bits <- Int64.logor c.bits (Int64.shift_left 1L bit);
+      t.used <- t.used + 1;
+      (* Claiming only removes free space, so the hint stays
+         conservative; a chunk that just filled is still a valid hint
+         (alloc skips full chunks). *)
+      true
+    end
+
 let free t blok =
   match find_chunk t blok with
   | None -> invalid_arg "Bloks.free: blok out of range"

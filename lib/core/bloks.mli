@@ -18,6 +18,12 @@ val free_count : t -> int
 val alloc : t -> int option
 (** First-fit allocation; [None] when full. *)
 
+val claim : t -> int -> bool
+(** Mark a specific blok allocated — restoring a recovered slot
+    assignment after a restart. [false] if it was already allocated
+    (a collision in the recovered state). Raises [Invalid_argument]
+    out of range. *)
+
 val free : t -> int -> unit
 (** Raises [Invalid_argument] if the blok is not allocated. *)
 

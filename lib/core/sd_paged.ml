@@ -38,8 +38,10 @@ type info = {
   lost_pages : int;
   rebloks : int;
   shed_frames : int;
+  restored_pages : int;
   wb_degraded : bool;
   swap_exhausted : bool;
+  crashed : bool;
 }
 
 type state = {
@@ -73,6 +75,17 @@ type state = {
      stops holding optimistic pool frames. *)
   mutable degraded_sync : bool;
   mutable swap_exhausted : bool;
+  (* Crash consistency (journaled backing store only): [restore] is
+     the committed (page, slot) image a restarted domain re-adopts at
+     bind; [retiring] maps a page to the committed slot its in-flight
+     out-of-place rewrite supersedes (freed when the rewrite commits);
+     [crashed] latches when a crash point tears one of our writes —
+     the backing store is gone mid-operation and every later fault is
+     a domain fault (the reaper then kills the domain). *)
+  restore : (int * int) list;
+  retiring : (int, int) Hashtbl.t;
+  mutable restored : int;
+  mutable crashed : bool;
 }
 
 (* Write-behind is in force only while it has not been degraded away. *)
@@ -125,7 +138,24 @@ let bind st (s : Stretch.t) =
          (Usbs.Sfs.page_capacity st.swap) npages);
   st.stretch <- Some s;
   st.pages <- Array.make npages Fresh;
-  st.blok_of_page <- Array.make npages (-1)
+  st.blok_of_page <- Array.make npages (-1);
+  (* Restart: re-adopt the committed (page, slot) image recovered from
+     the journal — the pages start Swapped and fault back in from the
+     swapfile; their slots are claimed out of the fresh bitmap. *)
+  List.iter
+    (fun (p, b) ->
+      if
+        p >= 0 && p < npages
+        && b >= 0
+        && b < Bloks.capacity st.bitmap
+        && Bloks.claim st.bitmap b
+      then begin
+        st.pages.(p) <- Swapped;
+        st.blok_of_page.(p) <- b;
+        st.restored <- st.restored + 1
+      end)
+    st.restore;
+  if st.restored > 0 then metric_add st "sd.restored_pages" st.restored
 
 let owns_fault st (fault : Fault.t) =
   match (fault.sid, st.stretch) with
@@ -193,17 +223,73 @@ let note_swap_exhausted st =
 
 (* Ensure the page has a blok assigned (first-fit from the bitmap).
    [None] means the bitmap is dry — the typed replacement for the old
-   "swap space exhausted" abort; callers degrade instead of dying. *)
+   "swap space exhausted" abort; callers degrade instead of dying.
+
+   Out-of-place rule (journaled backing store): a blok whose slot is
+   covered by a journal Commit record is never overwritten in place —
+   a torn write would destroy the only durable copy. The rewrite goes
+   to a fresh blok; the committed one is parked in [retiring] and
+   freed only once the new write's Commit record has landed. *)
 let blok_for st page =
-  if st.blok_of_page.(page) >= 0 then Some st.blok_of_page.(page)
-  else
+  let fresh () =
     match Bloks.alloc st.bitmap with
-    | Some b ->
-      st.blok_of_page.(page) <- b;
-      Some b
+    | Some b -> Some b
     | None ->
       note_swap_exhausted st;
       None
+  in
+  let b = st.blok_of_page.(page) in
+  if b < 0 then begin
+    match fresh () with
+    | Some b ->
+      st.blok_of_page.(page) <- b;
+      Some b
+    | None -> None
+  end
+  else if Usbs.Sfs.slot_committed st.swap b then begin
+    match fresh () with
+    | Some b' ->
+      Hashtbl.replace st.retiring page b;
+      st.blok_of_page.(page) <- b';
+      Some b'
+    | None -> None
+  end
+  else Some b
+
+(* The retiring pairs a committing write of [pages] must carry, and
+   their release (bitmap free) once that write has committed. *)
+let retire_for st pages =
+  List.filter_map
+    (fun p ->
+      match Hashtbl.find_opt st.retiring p with
+      | Some old -> Some (p, old)
+      | None -> None)
+    pages
+
+let release_retired st pages =
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt st.retiring p with
+      | Some old ->
+        Hashtbl.remove st.retiring p;
+        Bloks.free st.bitmap old
+      | None -> ())
+    pages
+
+let note_crashed st =
+  if not st.crashed then begin
+    st.crashed <- true;
+    metric_inc st "sd.crashed"
+  end
+
+(* Invert [blok_of_page] over a write-behind run: the (page, slot)
+   assignment pairs a committing flush must record. *)
+let pages_for_run st ~blok ~nbloks =
+  let acc = ref [] in
+  Array.iteri
+    (fun p b -> if b >= blok && b < blok + nbloks then acc := (p, b) :: !acc)
+    st.blok_of_page;
+  List.sort (fun (_, a) (_, b) -> compare a b) !acc
 
 let mark_lost st page =
   st.pages.(page) <- Lost;
@@ -218,16 +304,26 @@ let mark_lost st page =
    unrecoverable (the caller marks the page [Lost]). *)
 let write_now st ~page blok =
   st.env.Stretch_driver.assert_idc_allowed "USBS write";
+  let journaled = Usbs.Sfs.swap_journaled st.swap in
   let rec go blok =
     let sp = span_start st "usd.write" in
-    let r = Usbs.Sfs.write_page st.swap ~page_index:blok in
+    let r =
+      if journaled then
+        Usbs.Sfs.write_pages_commit st.swap ~page_index:blok ~npages:1
+          ~pages:[ (page, blok) ] ~retire:(retire_for st [ page ])
+      else Usbs.Sfs.write_page st.swap ~page_index:blok
+    in
     span_finish sp;
     match r with
     | Ok () ->
+      if journaled then release_retired st [ page ];
       st.page_outs <- st.page_outs + 1;
       metric_inc st "policy.page_out";
       true
     | Error `Retired -> false
+    | Error `Crashed ->
+      note_crashed st;
+      false
     | Error (`Lost_pages _) -> (
       match Bloks.alloc st.bitmap with
       | Some b' ->
@@ -394,6 +490,11 @@ let fast st (fault : Fault.t) =
     match fault.kind with
     | Mmu.Access_violation -> Stretch_driver.Failure "access violation"
     | Mmu.Unallocated -> Stretch_driver.Failure "unallocated address"
+    | Mmu.Page_fault when st.crashed ->
+      (* The backing store tore one of our writes mid-operation: the
+         domain's durable state is unrecoverable until remount +
+         restart, so every fault is a domain fault from here on. *)
+      Stretch_driver.Failure "backing store crashed"
     | Mmu.Page_fault ->
       let page = Stretch.page_index (the_stretch st) fault.va in
       (match st.pages.(page) with
@@ -570,7 +671,7 @@ let fetch_extras st parent extras =
           let lost_blok =
             match r with
             | Ok () -> fun _ -> false
-            | Error `Retired -> fun _ -> true
+            | Error (`Retired | `Crashed) -> fun _ -> true
             | Error (`Lost_pages l) -> fun b -> List.mem b l
           in
           let mapped = ref 0 in
@@ -579,7 +680,9 @@ let fetch_extras st parent extras =
               if lost_blok st.blok_of_page.(p) then begin
                 (* Speculative read of a bad blok: the page is gone,
                    the frame is not. *)
-                (match r with Error `Retired -> () | _ -> mark_lost st p);
+                (match r with
+                | Error (`Retired | `Crashed) -> ()
+                | _ -> mark_lost st p);
                 st.pool <- f :: st.pool
               end
               else begin
@@ -618,6 +721,8 @@ let full st (fault : Fault.t) =
       let rec resolve attempt =
         if attempt > 8 then
           Stretch_driver.Failure "fault resolution livelock"
+        else if st.crashed then
+          Stretch_driver.Failure "backing store crashed"
         else
       match st.pages.(page) with
       | Resident _ -> Stretch_driver.Success
@@ -689,7 +794,7 @@ let full st (fault : Fault.t) =
           let lost_blok =
             match r with
             | Ok () -> fun _ -> false
-            | Error `Retired -> fun _ -> true
+            | Error (`Retired | `Crashed) -> fun _ -> true
             | Error (`Lost_pages l) -> fun b -> List.mem b l
           in
           let mp = span_start st ?parent:fault.Fault.span "map" in
@@ -699,7 +804,9 @@ let full st (fault : Fault.t) =
               if lost_blok st.blok_of_page.(p) then begin
                 (* The blok under this page of the run is gone; its
                    frame goes back to the pool. *)
-                (match r with Error `Retired -> () | _ -> mark_lost st p);
+                (match r with
+                | Error (`Retired | `Crashed) -> ()
+                | _ -> mark_lost st p);
                 st.pool <- f :: st.pool
               end
               else begin
@@ -725,6 +832,8 @@ let full st (fault : Fault.t) =
             match r with
             | Error `Retired ->
               Stretch_driver.Failure "backing store retired"
+            | Error `Crashed ->
+              Stretch_driver.Failure "backing store crashed"
             | _ -> Stretch_driver.Failure "page contents lost to media error"
           end
           else begin
@@ -874,7 +983,7 @@ let policy_name h = h.h_policy
 let swap_extent h = h.h_extent ()
 
 let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
-    ?(policy = Policy.Spec.default) ~swap env =
+    ?(policy = Policy.Spec.default) ?(restore = []) ~swap env =
   if readahead < 0 then invalid_arg "Sd_paged.create: negative readahead";
   let spec = Policy.Spec.with_readahead policy readahead in
   let tick_ref = ref (fun () -> 0) in
@@ -888,19 +997,39 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
       tick = 0; page_ins = 0; page_outs = 0; demand_zeros = 0; evictions = 0;
       prefetched = 0; prefetch_hits = 0; prefetch_waste = 0; rescues = 0;
       lost_pages = 0; rebloks = 0; shed = 0; degraded_sync = false;
-      swap_exhausted = false }
+      swap_exhausted = false; restore; retiring = Hashtbl.create 7;
+      restored = 0; crashed = false }
   in
   tick_ref := (fun () -> st.tick);
   st.wb <-
     Policy.Writeback.create ~max_batch:spec.Policy.Spec.wb_batch
       ~write:(fun ~blok ~nbloks ->
         let sp = span_start st "usd.write" in
-        let r = Usbs.Sfs.write_pages st.swap ~page_index:blok ~npages:nbloks in
+        let journaled = Usbs.Sfs.swap_journaled st.swap in
+        let run_pages =
+          if journaled then pages_for_run st ~blok ~nbloks else []
+        in
+        let r =
+          if journaled then
+            Usbs.Sfs.write_pages_commit st.swap ~page_index:blok ~npages:nbloks
+              ~pages:run_pages
+              ~retire:(retire_for st (List.map fst run_pages))
+          else Usbs.Sfs.write_pages st.swap ~page_index:blok ~npages:nbloks
+        in
         span_finish sp;
+        (match r with
+        | Ok () when journaled -> release_retired st (List.map fst run_pages)
+        | Error `Crashed ->
+          (* Torn on the platter mid-flush: this rewrite's Commit
+             record never landed, so on restart the run's pages still
+             answer to their last committed slots. The domain itself
+             is dead — the crashed latch fails its next fault. *)
+          note_crashed st
+        | _ -> ());
         let lost =
           match r with
           | Ok () -> []
-          | Error `Retired -> []
+          | Error (`Retired | `Crashed) -> []
           | Error (`Lost_pages l) -> l
         in
         (match lost with
@@ -964,8 +1093,10 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
                 wb_flushes = Policy.Writeback.flushes st.wb;
                 rescues = st.rescues; lost_pages = st.lost_pages;
                 rebloks = st.rebloks; shed_frames = st.shed;
+                restored_pages = st.restored;
                 wb_degraded = st.degraded_sync;
-                swap_exhausted = st.swap_exhausted });
+                swap_exhausted = st.swap_exhausted;
+                crashed = st.crashed });
           h_advise = advise_st st;
           h_policy = pname;
           h_extent =

@@ -72,11 +72,18 @@ type info = {
   shed_frames : int;
       (** pool frames returned to the allocator by the swap-exhaustion
           degradation (optimistic holdings above the guarantee) *)
+  restored_pages : int;
+      (** committed pages re-adopted from the journal's recovered
+          image at bind time (restarted domains only) *)
   wb_degraded : bool;
       (** write-behind lost parked data once and the driver fell back
           to synchronous write-through (sticky) *)
   swap_exhausted : bool;
       (** the blok bitmap ran dry at least once (sticky) *)
+  crashed : bool;
+      (** a crash point tore one of this driver's writes: the backing
+          store is gone mid-operation, every later fault is a domain
+          fault, and recovery happens at remount + restart (sticky) *)
 }
 
 type handle
@@ -100,10 +107,16 @@ val swap_extent : handle -> int * int
 
 val create :
   ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
-  ?policy:Policy.Spec.t ->
+  ?policy:Policy.Spec.t -> ?restore:(int * int) list ->
   swap:Usbs.Sfs.swapfile -> Stretch_driver.env ->
   (Stretch_driver.t * handle, string) result
 (** [initial_frames] are allocated from the frames allocator up front
     (the paper's time-sensitive applications take all their guaranteed
     frames at initialisation). Fails if they cannot be obtained or the
-    swap file is too small for the stretch once bound. *)
+    swap file is too small for the stretch once bound.
+
+    [restore] is the committed [(stretch page, slot)] image recovered
+    from the backing store's journal (see {!Usbs.Sfs.reattach_swap}):
+    at bind time those pages start [Swapped] with their slots claimed
+    out of the bitmap, so a restarted domain faults its previous
+    contents back in instead of demand-zeroing. *)

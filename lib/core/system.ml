@@ -13,6 +13,8 @@ type config = {
   usd_laxity : bool;
   revocation_deadline : Time.span;
   va_bits : int;
+  sfs_journal_blocks : int;
+  fs_journal_blocks : int;
 }
 
 let default_config =
@@ -24,13 +26,24 @@ let default_config =
     usd_rollover = true;
     usd_laxity = true;
     revocation_deadline = Time.ms 100;
-    va_bits = 32 }
+    va_bits = 32;
+    sfs_journal_blocks = 0;
+    fs_journal_blocks = 0 }
+
+type domain_spec = {
+  sp_name : string;
+  sp_cpu_period : Time.span;
+  sp_cpu_slice : Time.span;
+  sp_guarantee : int;
+  sp_optimistic : int;
+}
 
 type domain = {
   dom : Domains.t;
   mm : Mm_entry.t;
   frames_client : Frames.client;
   env : Stretch_driver.env;
+  dspec : domain_spec;
   sys : t;
 }
 
@@ -91,10 +104,13 @@ let create ?(config = default_config) () =
   let nblocks = config.disk_params.Disk_params.nblocks in
   let half = nblocks / 2 in
   let three_quarters = nblocks * 3 / 4 in
-  let the_sfs = Usbs.Sfs.create ~first_block:0 ~nblocks:half the_usd in
+  let the_sfs =
+    Usbs.Sfs.create ~journal_blocks:config.sfs_journal_blocks ~first_block:0
+      ~nblocks:half the_usd
+  in
   let the_store =
-    Usbs.File_store.create ~first_block:three_quarters
-      ~nblocks:(nblocks - three_quarters) the_usd
+    Usbs.File_store.create ~journal_blocks:config.fs_journal_blocks
+      ~first_block:three_quarters ~nblocks:(nblocks - three_quarters) the_usd
   in
   let t =
     { cfg = config; simulator; the_mmu; ramtab; the_translation;
@@ -158,7 +174,12 @@ let add_domain t ~name ?(cpu_period = Time.ms 10) ?(cpu_slice = Time.us 500)
           assert_idc_allowed = Domains.assert_idc_allowed dom;
           cost = t.cfg.cost }
       in
-      let d = { dom; mm; frames_client; env; sys = t } in
+      let dspec =
+        { sp_name = name; sp_cpu_period = cpu_period;
+          sp_cpu_slice = cpu_slice; sp_guarantee = guarantee;
+          sp_optimistic = optimistic }
+      in
+      let d = { dom; mm; frames_client; env; dspec; sys = t } in
       Domains.on_kill dom (fun () ->
           Frames.retire t.the_frames frames_client;
           Cpu.remove t.the_cpu cpu_client;
@@ -167,6 +188,16 @@ let add_domain t ~name ?(cpu_period = Time.ms 10) ?(cpu_slice = Time.us 500)
       Ok d)
 
 let kill_domain _t d = Domains.kill d.dom
+
+let spec d = d.dspec
+
+(* Re-admit a killed domain under its original contract: same name,
+   same CPU period/slice, same frame guarantee — a fresh Domains.t and
+   protection domain, the resource envelope of the old incarnation. *)
+let respawn t sp =
+  add_domain t ~name:sp.sp_name ~cpu_period:sp.sp_cpu_period
+    ~cpu_slice:sp.sp_cpu_slice ~guarantee:sp.sp_guarantee
+    ~optimistic:sp.sp_optimistic ()
 
 let alloc_stretch d ?base ?global ~bytes () =
   Stretch_allocator.alloc d.sys.salloc ?base ?global
@@ -229,13 +260,13 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
         Ok (driver, info)))
 
 let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
-    ~swap_bytes ~qos s () =
+    ?(restartable = false) ~swap_bytes ~qos s () =
   match
     Usbs.Sfs.open_swap d.sys.the_sfs
       ~name:(Domains.name d.dom ^ ".swap") ~bytes:swap_bytes ~qos ?spare_pages
       ()
   with
-  | Error _ as e -> e
+  | Error e -> Error (Usbs.Sfs.open_error_message e)
   | Ok swap ->
     (match
        Sd_paged.create ?forgetful ?initial_frames ?readahead ?policy ~swap
@@ -246,8 +277,38 @@ let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
       Error e
     | Ok (driver, info) ->
       Mm_entry.bind d.mm s driver;
+      (* A restartable domain's swapfile survives its death detached —
+         the name, extent and recovered metadata stay registered so a
+         respawned incarnation can reattach and restore. *)
       Domains.on_kill d.dom (fun () ->
-          Usbs.Sfs.close_swap d.sys.the_sfs swap);
+          if restartable then Usbs.Sfs.detach_swap d.sys.the_sfs swap
+          else Usbs.Sfs.close_swap d.sys.the_sfs swap);
+      Ok (driver, info))
+
+(* Restart path: reattach the swapfile the previous incarnation left
+   detached (same domain name, so same swap name), restore the
+   journal-committed (page, slot) image into a fresh paged driver, and
+   bind. The restored pages start [Swapped] and fault back in from
+   swap on first touch. *)
+let bind_paged_restored d ?initial_frames ?readahead ?policy ~qos s () =
+  let name = Domains.name d.dom ^ ".swap" in
+  match Usbs.Sfs.reattach_swap d.sys.the_sfs ~name ~qos with
+  | Error `Unknown ->
+    Error (Printf.sprintf "no detached swapfile %S to reattach" name)
+  | Error `Attached ->
+    Error (Printf.sprintf "swapfile %S is still attached" name)
+  | Error (`Sfs e) -> Error e
+  | Ok (swap, restore) ->
+    (match
+       Sd_paged.create ?initial_frames ?readahead ?policy ~restore ~swap d.env
+     with
+    | Error e ->
+      Usbs.Sfs.detach_swap d.sys.the_sfs swap;
+      Error e
+    | Ok (driver, info) ->
+      Mm_entry.bind d.mm s driver;
+      Domains.on_kill d.dom (fun () ->
+          Usbs.Sfs.detach_swap d.sys.the_sfs swap);
       Ok (driver, info))
 
 (* Publish the standard stretch-driver creators in the system

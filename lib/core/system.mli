@@ -27,19 +27,36 @@ type config = {
   usd_laxity : bool;
   revocation_deadline : Time.span;
   va_bits : int;
+  sfs_journal_blocks : int;
+      (** bloks reserved at the head of the swap partition for the
+          SFS's crash-consistency intent journal (0 = no journal, the
+          seed behaviour) *)
+  fs_journal_blocks : int;
+      (** same, for the file store's partition *)
 }
 
 val default_config : config
 (** 64 MB of main memory, linear page table, the paper's cost model and
-    disk, roll-over and laxity enabled, T = 100 ms. *)
+    disk, roll-over and laxity enabled, T = 100 ms, no journals. *)
 
 type t
+
+type domain_spec = {
+  sp_name : string;
+  sp_cpu_period : Time.span;
+  sp_cpu_slice : Time.span;
+  sp_guarantee : int;
+  sp_optimistic : int;
+}
+(** A domain's admission contract, captured at {!add_domain} — what
+    {!respawn} re-admits a killed domain's successor under. *)
 
 type domain = private {
   dom : Domains.t;
   mm : Mm_entry.t;
   frames_client : Frames.client;
   env : Stretch_driver.env;
+  dspec : domain_spec;
   sys : t;
 }
 
@@ -96,6 +113,14 @@ val add_domain :
 
 val kill_domain : t -> domain -> unit
 
+val spec : domain -> domain_spec
+
+val respawn : t -> domain_spec -> (domain, string) result
+(** Re-admit a fresh domain under a dead one's original contract: same
+    name, CPU period/slice and frame guarantee/optimistic allocation.
+    Goes through the same admission control as {!add_domain} (it can
+    refuse if the dead domain's share has been given away). *)
+
 (** {2 Stretch conveniences} *)
 
 val alloc_stretch :
@@ -111,13 +136,28 @@ val bind_physical :
 
 val bind_paged :
   domain -> ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
-  ?policy:Policy.Spec.t -> ?spare_pages:int ->
+  ?policy:Policy.Spec.t -> ?spare_pages:int -> ?restartable:bool ->
   swap_bytes:int -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
   (Stretch_driver.t * Sd_paged.handle, string) result
 (** Opens a swap file on the SFS (negotiating the disk QoS), creates a
     paged driver under [policy] (default: the seed FIFO/write-through
     behaviour) and binds it. [spare_pages] reserves bad-blok remap
-    spares in the swap extent (see {!Usbs.Sfs.open_swap}). *)
+    spares in the swap extent (see {!Usbs.Sfs.open_swap}).
+    [restartable] (default false) makes the swapfile survive the
+    domain's death {e detached} instead of closed, so a {!respawn}ed
+    incarnation can {!bind_paged_restored}. *)
+
+val bind_paged_restored :
+  domain -> ?initial_frames:int -> ?readahead:int ->
+  ?policy:Policy.Spec.t -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
+  (Stretch_driver.t * Sd_paged.handle, string) result
+(** The restart path: reattach the detached swapfile the domain's
+    previous incarnation left behind (found by name — the domain must
+    be {!respawn}ed under the same name), and bind a paged driver that
+    re-adopts the journal-committed (page, slot) image. The restored
+    pages fault their previous contents back in from swap on first
+    touch; run {!Usbs.Sfs.remount} first so the committed image is the
+    recovered one. *)
 
 val bind_mapped :
   domain -> mode:Sd_mapped.mode -> ?initial_frames:int ->

@@ -11,6 +11,10 @@ type segment = { mutable next : int; mutable lru : int }
 type t = {
   p : Disk_params.t;
   segments : segment array;
+  (* Durable per-LBA contents — what is actually on the platter. Only
+     crash-consistency clients (journal records, swap-slot stamps)
+     store bytes here; timing is unaffected. *)
+  contents : (int, string) Hashtbl.t;
   mutable cur_cyl : int;
   mutable clock : int; (* LRU tick *)
   mutable cache_hits : int;
@@ -22,6 +26,7 @@ let create ?(params = Disk_params.vp3221) () =
   { p = params;
     segments = Array.init params.Disk_params.cache_segments
         (fun _ -> { next = -1; lru = 0 });
+    contents = Hashtbl.create 1024;
     cur_cyl = 0; clock = 0; cache_hits = 0; mechanical = 0; seeks = 0 }
 
 let params t = t.p
@@ -133,6 +138,10 @@ let service t ~now ~op ~lba ~nblocks =
     failwith
       (Printf.sprintf "Disk_model.service: injected media error at lba %d"
          e.bad_lba)
+
+let store t ~lba s = Hashtbl.replace t.contents lba s
+let load t ~lba = Hashtbl.find_opt t.contents lba
+let erase t ~lba = Hashtbl.remove t.contents lba
 
 let cache_hits t = t.cache_hits
 let mechanical_ops t = t.mechanical

@@ -51,6 +51,18 @@ val service : t -> now:Time.t -> op:op -> lba:int -> nblocks:int -> Time.span
     [Failure] on an injected media error (unreachable while {!Inject}
     is disarmed). *)
 
+(** {2 Durable contents}
+
+    The platter as a byte store: crash-consistency clients (the
+    {!Usbs.Journal}, swap-slot stamps) record what actually persisted,
+    independent of transaction timing. A torn write stores only the
+    prefix that made it to the media; a remount reads back whatever
+    survives. Bloks never written load as [None]. *)
+
+val store : t -> lba:int -> string -> unit
+val load : t -> lba:int -> string option
+val erase : t -> lba:int -> unit
+
 (** {2 Introspection} *)
 
 val cache_hits : t -> int

@@ -75,6 +75,7 @@ let plan_for ~seed ~first ~nblocks =
           rf_write_error = 0.02;
           rf_spike = 0.02;
           rf_spike_span = Time.ms 20 } ];
+    crashes = [];
     stalls =
       [ ("victim.swap", { Inject.st_rate = 0.02; st_span = Time.ms 30 });
         ("doomed.revoke", { Inject.st_rate = 1.0; st_span = Time.ms 250 }) ];

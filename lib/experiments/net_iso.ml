@@ -214,7 +214,7 @@ let run_shared ~duration =
         ~bytes:(8 * 1024 * 1024) ~qos ()
     with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Usbs.Sfs.open_error_message e)
   in
   let backing =
     match

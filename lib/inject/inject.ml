@@ -28,6 +28,13 @@ type chan_fault = {
 
 type pressure = { pr_period : Time.span; pr_hold : Time.span }
 
+type crash_point = {
+  cp_after : Time.t;
+  cp_site : string option;
+  cp_first : int;
+  cp_len : int;
+}
+
 type plan = {
   seed : int;
   blok_faults : blok_fault list;
@@ -35,6 +42,7 @@ type plan = {
   stalls : (string * stall) list;
   chans : (string * chan_fault) list;
   pressure : pressure option;
+  crashes : crash_point list;
 }
 
 let default_plan =
@@ -45,6 +53,7 @@ let default_plan =
     stalls = [];
     chans = [];
     pressure = None;
+    crashes = [];
   }
 
 let enabled = ref false
@@ -55,6 +64,10 @@ let rng = ref (Rng.create ~seed:0)
    range, then heal; one decrementing counter per fault entry. *)
 let transient_left : (blok_fault, int) Hashtbl.t = Hashtbl.create 7
 
+(* Crash points are one-shot: each entry of [plan.crashes] fires at
+   most once per arm/reset, keyed by its position in the list. *)
+let crash_fired : (int, unit) Hashtbl.t = Hashtbl.create 7
+
 type tally = {
   injected_errors : int;
   spikes : int;
@@ -62,6 +75,7 @@ type tally = {
   chan_drops : int;
   chan_delays : int;
   pressure_bursts : int;
+  crashes : int;
   retried : int;
   remapped : int;
   degraded : int;
@@ -76,6 +90,7 @@ let zero_tally =
     chan_drops = 0;
     chan_delays = 0;
     pressure_bursts = 0;
+    crashes = 0;
     retried = 0;
     remapped = 0;
     degraded = 0;
@@ -95,6 +110,7 @@ let reset () =
   rng := Rng.create ~seed:!the_plan.seed;
   counts := zero_tally;
   Hashtbl.reset transient_left;
+  Hashtbl.reset crash_fired;
   Hashtbl.reset classes;
   List.iter
     (fun bf ->
@@ -229,6 +245,34 @@ let chan ~name =
         else Deliver
 
 let pressure () = if not !enabled then None else !the_plan.pressure
+
+(* A crash point tears the durable write it fires on: only a seeded
+   prefix of the transaction's bloks reaches the platter. [Rng.int]
+   over [nblocks] guarantees at least the final blok is lost. *)
+let crash_write ~now ~site ~lba ~nblocks =
+  if not !enabled || nblocks <= 0 then None
+  else begin
+    let hit = ref None in
+    List.iteri
+      (fun i cp ->
+        if
+          !hit = None
+          && (not (Hashtbl.mem crash_fired i))
+          && now >= cp.cp_after
+          && (match cp.cp_site with None -> true | Some s -> s = site)
+          && (cp.cp_len = 0
+             || overlaps ~first:cp.cp_first ~len:cp.cp_len ~lba ~nblocks)
+        then hit := Some i)
+      !the_plan.crashes;
+    match !hit with
+    | None -> None
+    | Some i ->
+        Hashtbl.replace crash_fired i ();
+        counts := { !counts with crashes = !counts.crashes + 1 };
+        bump_class "crash.write";
+        metric "crashes";
+        Some (Rng.int !rng nblocks)
+  end
 
 (* -- recovery accounting --------------------------------------------- *)
 

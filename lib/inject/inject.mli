@@ -69,6 +69,20 @@ type pressure = {
   pr_hold : Time.span;  (** how long a burst holds its frames *)
 }
 
+type crash_point = {
+  cp_after : Time.t;  (** armed from this virtual time on *)
+  cp_site : string option;
+      (** only writes issued on behalf of this swap / site fire the
+          point; [None] = any site *)
+  cp_first : int;  (** LBA window; [cp_len = 0] matches any LBA *)
+  cp_len : int;
+}
+(** A one-shot virtual-time crash point. The first durable write
+    matching the time / site / LBA-window predicates is torn: an
+    arbitrary seeded prefix of its bloks persists and the writer
+    observes a crash. Each point fires at most once per {!arm} /
+    {!reset}. *)
+
 type plan = {
   seed : int;
   blok_faults : blok_fault list;
@@ -76,6 +90,7 @@ type plan = {
   stalls : (string * stall) list;  (** keyed by USD client / site name *)
   chans : (string * chan_fault) list;  (** keyed by event-channel name *)
   pressure : pressure option;  (** consumed by the chaos gremlin *)
+  crashes : crash_point list;
 }
 
 val default_plan : plan
@@ -116,6 +131,17 @@ val chan : name:string -> chan_outcome
 
 val pressure : unit -> pressure option
 
+val crash_write :
+  now:Time.t -> site:string -> lba:int -> nblocks:int -> int option
+(** Consulted by durable writers ({!Usbs.Sfs} data writes,
+    {!Usbs.Journal} appends) just before the bytes would hit the
+    platter. [Some k] means a crash point fired: exactly the first
+    [k] bloks of the transaction persist ([0 <= k < nblocks], so the
+    write is always torn) and the caller must abort with a crashed
+    status. Crashes are tallied separately from media errors and do
+    not enter the {!accounted} equation — recovery happens at
+    remount, not in-line. *)
+
 (** {2 Recovery accounting (called by the hardened layers)} *)
 
 val note_retried : string -> unit
@@ -135,6 +161,7 @@ type tally = {
   chan_drops : int;
   chan_delays : int;
   pressure_bursts : int;
+  crashes : int;  (** crash points fired (torn writes) *)
   retried : int;
   remapped : int;
   degraded : int;

@@ -252,15 +252,23 @@ let admit t ~name ~qos ?(channel_depth = 64) () =
     Sync.Waitq.broadcast t.kick;
     Ok c
 
+(* Fill every request still queued on a dead client's channel with a
+   retired status. Runs from [retire], and again from [submit] when a
+   sender that was blocked on a full channel wakes up to find the
+   client retired under it — either way, each queued ivar is filled
+   exactly once (each request is received exactly once). *)
+let drain_cancelled (c : client) =
+  while not (Io_channel.is_empty c.channel) do
+    let req = Io_channel.recv c.channel in
+    Sync.Ivar.fill req.completion (Error Cancelled)
+  done
+
 let retire t (c : client) =
   c.live <- false;
   Edf.remove t.edf c.edf;
   t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
   (* Unblock waiters: requests still queued will never be scheduled. *)
-  while not (Io_channel.is_empty c.channel) do
-    let req = Io_channel.recv c.channel in
-    Sync.Ivar.fill req.completion (Error Cancelled)
-  done;
+  drain_cancelled c;
   c.backlogged_since <- None;
   Sync.Waitq.broadcast t.kick
 
@@ -271,6 +279,11 @@ let submit t (c : client) op ~lba ~nblocks =
     if Io_channel.is_empty c.channel then
       c.backlogged_since <- Some (Sim.now t.sim);
     Io_channel.send c.channel { op; lba; nblocks; completion };
+    (* [send] may have blocked on a full channel; if the client was
+       retired while we slept, the retire-time drain ran before our
+       request landed and nothing will ever service it. Cancel it (and
+       anything queued behind us) so no waiter blocks forever. *)
+    if not c.live then drain_cancelled c;
     Sync.Waitq.broadcast t.kick;
     Ok completion
   end

@@ -67,7 +67,10 @@ val submit :
 (** Enqueue a transaction on the client's IO channel (blocking if the
     channel is full) and return the completion ivar. A retired client
     gets [Error `Retired] instead of an exception: user-level pagers
-    race retirement and must be able to handle the loss. *)
+    race retirement and must be able to handle the loss. If the client
+    is retired while the submitter is blocked on a full channel, the
+    returned ivar is filled with [Cancelled] — every pending
+    submission resolves, no waiter blocks forever. *)
 
 val transact :
   t -> client -> op -> lba:int -> nblocks:int ->

@@ -58,8 +58,10 @@ let measured_info t =
       lost_pages = now.lost_pages - s.lost_pages;
       rebloks = now.rebloks - s.rebloks;
       shed_frames = now.shed_frames - s.shed_frames;
+      restored_pages = now.restored_pages - s.restored_pages;
       wb_degraded = now.wb_degraded;
-      swap_exhausted = now.swap_exhausted }
+      swap_exhausted = now.swap_exhausted;
+      crashed = now.crashed }
 
 let stop t = Domains.kill t.d.System.dom
 

@@ -33,7 +33,7 @@ let open_swap_exn fs ~name ~bytes ?spare_pages () =
     Usbs.Sfs.open_swap fs ~name ~bytes ~qos:(plain_qos ()) ?spare_pages ()
   with
   | Ok s -> s
-  | Error e -> failwith e
+  | Error e -> failwith (Usbs.Sfs.open_error_message e)
 
 let in_proc sim f =
   let done_ = ref false in

@@ -4,4 +4,5 @@ let () =
    @ Test_usbs.suite @ Test_usnet.suite @ Test_obs.suite
    @ Test_core_vm.suite @ Test_domains.suite @ Test_runtime.suite
    @ Test_extensions.suite @ Test_properties.suite @ Test_stress.suite
-   @ Test_policy.suite @ Test_experiments.suite @ Test_inject.suite)
+   @ Test_policy.suite @ Test_experiments.suite @ Test_inject.suite
+   @ Test_crash.suite)

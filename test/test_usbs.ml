@@ -229,7 +229,7 @@ let sfs_extent_allocation () =
   let sf1 =
     match Sfs.open_swap fs ~name:"a" ~bytes:(1024 * 1024) ~qos:q () with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Sfs.open_error_message e)
   in
   check "1MB = 128 pages" 128 (Sfs.page_capacity sf1);
   check "extent blocks" (128 * 16) (Sfs.extent_blocks sf1);
@@ -237,7 +237,7 @@ let sfs_extent_allocation () =
   let sf2 =
     match Sfs.open_swap fs ~name:"b" ~bytes:(512 * 1024) ~qos:q () with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Sfs.open_error_message e)
   in
   checkb "extents disjoint" true
     (Sfs.extent_start sf2 >= Sfs.extent_start sf1 + Sfs.extent_blocks sf1
@@ -259,7 +259,7 @@ let sfs_data_path () =
   let sf =
     match Sfs.open_swap fs ~name:"a" ~bytes:(256 * 1024) ~qos:q () with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Sfs.open_error_message e)
   in
   let ok = ref false in
   ignore
