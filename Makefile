@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos bench-crash smoke chaos crash fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-scale smoke chaos crash scale fmt check clean
 
 all: build
 
@@ -22,6 +22,12 @@ bench-chaos:
 # Regenerate the machine-readable crash-recovery verdict.
 bench-crash:
 	dune exec bench/main.exe -- crash
+
+# Regenerate the machine-readable scale-out record: frame-stack and
+# EDF pick-next micro-benches at 8/64/256 clients against the seed's
+# list-shaped baselines, plus an end-to-end many-domain run.
+bench-scale:
+	dune exec bench/main.exe -- scale
 
 # Quick end-to-end run of the policy-compare figure (two contrasting
 # policies, short duration).
@@ -49,7 +55,13 @@ chaos:
 crash:
 	dune exec bin/nemesis_sim.exe -- crash-recover --rounds 2
 
-check: fmt build test smoke chaos crash
+# Scale-out run: 128 self-paging domains under tight admission
+# control; zero QoS violations, balanced frame books and the typed
+# late-comer refusal asserted (non-zero exit on breach).
+scale:
+	dune exec bin/nemesis_sim.exe -- scale
+
+check: fmt build test smoke chaos crash scale
 	@echo "check OK"
 
 clean:

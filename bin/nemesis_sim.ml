@@ -255,6 +255,35 @@ let chaos_cmd =
           victim, with two clean domains as the control group")
     Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
 
+let scale_cmd =
+  let seed =
+    let doc = "Simulation seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let domains =
+    let doc = "Number of self-paging domains to admit." in
+    Arg.(value & opt int 128 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc = "Also write the scale verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run obs d seed domains json =
+    with_obs obs (fun () ->
+        let r = Scale.run ~seed ~domains ~duration:(sec d) () in
+        Scale.print r;
+        Option.iter (fun path -> write_file path (Scale.to_json r)) json;
+        if not (Scale.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Many-domain scale-out: admit 128 self-paging domains under \
+          tight CPU, disk and memory admission control, refuse the \
+          129th with a typed overcommit error, and assert zero QoS \
+          violations and balanced frame books")
+    Term.(const run $ obs_args $ duration_arg 60 $ seed $ domains $ json)
+
 let crash_recover_cmd =
   let seed =
     let doc = "Simulation and fault-injection seed." in
@@ -320,6 +349,7 @@ let main =
   in
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
-      policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd; all_cmd ]
+      policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd;
+      scale_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,7 +19,7 @@ let make_domain sys name bytes =
   let d =
     match System.add_domain sys ~name ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes () with
@@ -73,7 +73,7 @@ let run ~self_paging =
                  ~swap_bytes:(16 * 1024 * 1024) ~qos s ()
              with
              | Ok _ -> ()
-             | Error e -> failwith e))
+             | Error e -> failwith (System.error_message e)))
     in
     bind stream_d stream_s ~period_ms:20 ~slice_ms:2 ~forgetful:false;
     bind hog_d hog_s ~period_ms:250 ~slice_ms:50 ~forgetful:true;

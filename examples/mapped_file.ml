@@ -21,7 +21,7 @@ let map_and_work sys name mode dirty_stride =
   let d =
     match System.add_domain sys ~name ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let stretch =
     match System.alloc_stretch d ~bytes:(file_pages * Addr.page_size) () with
@@ -44,7 +44,7 @@ let map_and_work sys name mode dirty_stride =
              System.bind_mapped d ~mode ~initial_frames:2 ~file ~qos stretch ()
            with
            | Ok x -> x
-           | Error e -> failwith e
+           | Error e -> failwith (System.error_message e)
          in
          info_ref := Some info;
          (* Read the whole file, dirty every [dirty_stride]-th page,

@@ -18,7 +18,7 @@ let () =
       System.add_domain sys ~name:"demo" ~guarantee:2 ~optimistic:0 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
 
   (* 4 MB of virtual addresses. A stretch owns no physical memory; it
@@ -45,7 +45,7 @@ let () =
                ~swap_bytes:(16 * 1024 * 1024) ~qos stretch ()
            with
            | Ok x -> x
-           | Error e -> failwith e
+           | Error e -> failwith (System.error_message e)
          in
          let sim = System.sim sys in
          let npages = Stretch.npages stretch in

@@ -33,14 +33,14 @@ let () =
       System.add_domain sys ~name:"greedy" ~guarantee:2 ~optimistic:220 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let steady =
     match
       System.add_domain sys ~name:"steady" ~guarantee:100 ~optimistic:0 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   Format.printf "total frames: %d, guaranteed: %d (admission: ok)@."
     (Frames.total_frames frames) (Frames.guaranteed_total frames);
@@ -60,7 +60,7 @@ let () =
             System.bind_paged greedy ~swap_bytes:(400 * page) ~qos gs ()
           with
          | Ok _ -> ()
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          for i = 0 to Stretch.npages gs - 1 do
            Domains.access greedy.System.dom (Stretch.page_base gs i) `Write
          done;

@@ -64,7 +64,7 @@ let compile_job sys () =
       System.add_domain sys ~name:"compile" ~guarantee:2 ~optimistic:0 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let stretch =
     match System.alloc_stretch d ~bytes:(8 * 1024 * 1024) () with
@@ -81,7 +81,7 @@ let compile_job sys () =
               ~swap_bytes:(32 * 1024 * 1024) ~qos stretch ()
           with
          | Ok _ -> ()
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          let npages = Stretch.npages stretch in
          let rec churn () =
            for i = 0 to npages - 1 do

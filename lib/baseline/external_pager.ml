@@ -47,7 +47,7 @@ let create sys ?(frames = 64) ?qos ?(cpu_slice = Time.ms 2) () =
     System.add_domain sys ~name:"external-pager" ~cpu_period:(Time.ms 10)
       ~cpu_slice ~guarantee:frames ~optimistic:0 ()
   with
-  | Error _ as e -> e
+  | Error e -> Error (System.error_message e)
   | Ok pager ->
     let t =
       { sys; pager; queue = Sync.Mailbox.create (); swap_qos = qos;

@@ -34,7 +34,11 @@ let cost t = t.cost
 let sim t = t.sim
 let alive t = t.alive
 
-let consume_cpu t span = if span > 0 then Cpu.consume t.cpu t.cpu_client span
+let consume_cpu t span =
+  if span > 0 then
+    match Cpu.consume t.cpu t.cpu_client span with
+    | Ok () -> ()
+    | Error `Removed -> failwith (t.dname ^ ": CPU contract removed")
 
 let cpu_used t = Cpu.used t.cpu_client
 

@@ -15,9 +15,37 @@ type client = {
   mutable notify_revoke : (k:int -> deadline:Time.t -> unit) option;
   mutable pending_rev : revocation option;
   mutable live : bool;
+  (* Position on the allocator's member list; None once retired. *)
+  mutable node : client Ilist.node option;
 }
 
 type region = { rname : string; first : int; count : int }
+
+type error =
+  | Negative_quota
+  | Admission_overcommit of { requested : int; available : int }
+  | Frame_out_of_range of { pfn : int; nframes : int }
+  | Frame_in_use of { pfn : int }
+  | Quota_exhausted of { held : int; quota : int }
+  | No_such_region of { region : string }
+  | No_matching_frame
+
+let pp_error ppf = function
+  | Negative_quota -> Format.pp_print_string ppf "negative quota"
+  | Admission_overcommit { requested; available } ->
+    Format.fprintf ppf
+      "admission refused: %d guaranteed frames requested, %d available"
+      requested available
+  | Frame_out_of_range { pfn; nframes } ->
+    Format.fprintf ppf "frame %d out of range (0..%d)" pfn (nframes - 1)
+  | Frame_in_use { pfn } -> Format.fprintf ppf "frame %d not free" pfn
+  | Quota_exhausted { held; quota } ->
+    Format.fprintf ppf "quota exhausted (%d/%d frames held)" held quota
+  | No_such_region { region } ->
+    Format.fprintf ppf "no region named %S" region
+  | No_matching_frame -> Format.pp_print_string ppf "no matching free frame"
+
+let error_message e = Format.asprintf "%a" pp_error e
 
 type t = {
   sim : Sim.t;
@@ -29,8 +57,19 @@ type t = {
   avail : bool array;
   mutable free_count : int;
   mutable cursor : int;
-  mutable regions : region list;
-  mutable members : client list;
+  (* Regions both as an ordered list (the [regions] accessor reports
+     declaration recency, as the seed did) and keyed by name for O(1)
+     placement lookups. *)
+  mutable region_list : region list;
+  region_by_name : (string, region) Hashtbl.t;
+  (* Members in admission order (victim picking folds it, and ties go
+     to the earliest-admitted holder, as with the seed list), indexed
+     by owning domain id. *)
+  members : client Ilist.t;
+  by_domain : (int, client) Hashtbl.t;
+  (* Running sum of admitted guarantees, so admission control is O(1)
+     per request rather than a member scan. *)
+  mutable gsum : int;
   mutable kill : int -> unit;
   deadline_span : Time.span;
   (* One revocation round at a time. *)
@@ -43,7 +82,9 @@ let create ?(revocation_deadline = Time.ms 100) sim ramtab ~nframes =
   if nframes <= 0 || nframes > Ramtab.nframes ramtab then
     invalid_arg "Frames.create: bad frame count";
   { sim; ramtab; nframes; avail = Array.make nframes true;
-    free_count = nframes; cursor = 0; regions = []; members = [];
+    free_count = nframes; cursor = 0; region_list = [];
+    region_by_name = Hashtbl.create 16; members = Ilist.create ();
+    by_domain = Hashtbl.create 64; gsum = 0;
     kill = (fun _ -> ()); deadline_span = revocation_deadline;
     rev_lock = Sync.Semaphore.create 1; intrusive_count = 0;
     transparent_count = 0 }
@@ -51,9 +92,11 @@ let create ?(revocation_deadline = Time.ms 100) sim ramtab ~nframes =
 let add_region t ~name ~first ~count =
   if first < 0 || count <= 0 || first + count > t.nframes then
     invalid_arg "Frames.add_region: out of range";
-  if List.exists (fun r -> r.rname = name) t.regions then
+  if Hashtbl.mem t.region_by_name name then
     invalid_arg "Frames.add_region: duplicate name";
-  t.regions <- { rname = name; first; count } :: t.regions
+  let r = { rname = name; first; count } in
+  t.region_list <- r :: t.region_list;
+  Hashtbl.replace t.region_by_name name r
 
 (* Free-pool primitives. *)
 
@@ -95,27 +138,32 @@ let pool_take_matching t pred =
   in
   scan 0
 
-let guaranteed_total t =
-  List.fold_left (fun acc c -> acc + c.g) 0 t.members
+let guaranteed_total t = t.gsum
 
 let admit t ~domain ~guarantee ~optimistic =
-  if guarantee < 0 || optimistic < 0 then Error "negative quota"
-  else if guaranteed_total t + guarantee > t.nframes then
+  if guarantee < 0 || optimistic < 0 then Error Negative_quota
+  else if t.gsum + guarantee > t.nframes then
     Error
-      (Printf.sprintf "admission refused: %d guaranteed frames exceed %d"
-         (guaranteed_total t + guarantee) t.nframes)
+      (Admission_overcommit
+         { requested = guarantee; available = t.nframes - t.gsum })
   else begin
     let c =
       { domain; g = guarantee; o = optimistic; n = 0;
         stack = Frame_stack.create (); notify_revoke = None;
-        pending_rev = None; live = true }
+        pending_rev = None; live = true; node = None }
     in
-    t.members <- t.members @ [ c ];
+    let node = Ilist.make_node c in
+    c.node <- Some node;
+    Ilist.push_back t.members node;
+    Hashtbl.replace t.by_domain domain c;
+    t.gsum <- t.gsum + guarantee;
     if !Obs.enabled then
       Obs.Qos_audit.mem_grant ~now:(Sim.now t.sim) ~dom:domain ~guarantee
         ~capacity:t.nframes;
     Ok c
   end
+
+let client_of_domain t domain = Hashtbl.find_opt t.by_domain domain
 
 let set_revocation_handler c f = c.notify_revoke <- Some f
 
@@ -160,10 +208,20 @@ let release_all_frames t c =
     (Frame_stack.to_list c.stack);
   c.n <- 0
 
+let unlink t c =
+  (match c.node with
+  | Some node when Ilist.active node -> Ilist.remove t.members node
+  | _ -> ());
+  c.node <- None;
+  (match Hashtbl.find_opt t.by_domain c.domain with
+  | Some c' when c' == c -> Hashtbl.remove t.by_domain c.domain
+  | _ -> ());
+  t.gsum <- t.gsum - c.g
+
 let kill_victim t victim =
   victim.live <- false;
   victim.pending_rev <- None;
-  t.members <- List.filter (fun c -> c.domain <> victim.domain) t.members;
+  unlink t victim;
   release_all_frames t victim;
   if !Obs.enabled then Obs.Qos_audit.mem_release ~dom:victim.domain;
   t.kill victim.domain
@@ -173,9 +231,10 @@ let revocation_ready _t c =
   | None -> ()
   | Some rev -> Sync.Ivar.fill rev.ready ()
 
-(* Pick the domain holding the most optimistic frames. *)
+(* Pick the domain holding the most optimistic frames; ties go to the
+   earliest-admitted holder (the fold direction the seed list had). *)
 let pick_victim t ~requester =
-  List.fold_left
+  Ilist.fold
     (fun best c ->
       if c.live && c.domain <> requester.domain && c.n > c.g then
         match best with
@@ -322,9 +381,10 @@ let alloc_matching t c pred =
 
 let alloc_specific t c ~pfn =
   if pfn < 0 || pfn >= t.nframes then
-    Error "frame number out of range"
-  else if not (within_quota c) then Error "quota exhausted"
-  else if not t.avail.(pfn) then Error "frame not free"
+    Error (Frame_out_of_range { pfn; nframes = t.nframes })
+  else if not (within_quota c) then
+    Error (Quota_exhausted { held = c.n; quota = c.g + c.o })
+  else if not t.avail.(pfn) then Error (Frame_in_use { pfn })
   else begin
     pool_take t pfn;
     grant t c pfn;
@@ -332,10 +392,17 @@ let alloc_specific t c ~pfn =
   end
 
 let alloc_in_region t c ~region =
-  match List.find_opt (fun r -> r.rname = region) t.regions with
-  | None -> None
-  | Some r ->
-    alloc_matching t c (fun pfn -> pfn >= r.first && pfn < r.first + r.count)
+  match Hashtbl.find_opt t.region_by_name region with
+  | None -> Error (No_such_region { region })
+  | Some r -> (
+    if not (within_quota c) then
+      Error (Quota_exhausted { held = c.n; quota = c.g + c.o })
+    else
+      match
+        alloc_matching t c (fun pfn -> pfn >= r.first && pfn < r.first + r.count)
+      with
+      | Some pfn -> Ok pfn
+      | None -> Error No_matching_frame)
 
 (* Superpage support: an aligned run of 2^log2 contiguous frames, so a
    single wide TLB mapping can cover it. The RamTab records the logical
@@ -373,7 +440,7 @@ let alloc_colored t c ~color ~colors =
     invalid_arg "Frames.alloc_colored: bad colour";
   alloc_matching t c (fun pfn -> pfn mod colors = color)
 
-let regions t = List.map (fun r -> (r.rname, r.first, r.count)) t.regions
+let regions t = List.map (fun r -> (r.rname, r.first, r.count)) t.region_list
 
 let free t c pfn =
   if Ramtab.owner t.ramtab ~pfn <> Some c.domain then
@@ -389,7 +456,7 @@ let free t c pfn =
 let retire t c =
   if c.live then begin
     c.live <- false;
-    t.members <- List.filter (fun c' -> c'.domain <> c.domain) t.members;
+    unlink t c;
     release_all_frames t c;
     if !Obs.enabled then Obs.Qos_audit.mem_release ~dom:c.domain
   end

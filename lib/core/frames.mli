@@ -27,6 +27,22 @@ type t
 
 type client
 
+(** Typed allocation/admission errors. [pp_error]/[error_message]
+    render the human-readable strings the API used to return. *)
+type error =
+  | Negative_quota
+  | Admission_overcommit of { requested : int; available : int }
+      (** [requested] guaranteed frames were asked for but only
+          [available] remain unguaranteed. *)
+  | Frame_out_of_range of { pfn : int; nframes : int }
+  | Frame_in_use of { pfn : int }
+  | Quota_exhausted of { held : int; quota : int }
+  | No_such_region of { region : string }
+  | No_matching_frame
+
+val pp_error : Format.formatter -> error -> unit
+val error_message : error -> string
+
 val create :
   ?revocation_deadline:Time.span -> Sim.t -> Ramtab.t -> nframes:int -> t
 (** Manage [nframes] physical frames (PFNs [0 .. nframes-1]).
@@ -34,8 +50,9 @@ val create :
 
 val admit :
   t -> domain:int -> guarantee:int -> optimistic:int ->
-  (client, string) result
-(** Refused if Σ guarantees would exceed the number of frames. *)
+  (client, error) result
+(** Refused ([Admission_overcommit]) if Σ guarantees would exceed the
+    number of frames. *)
 
 val retire : t -> client -> unit
 (** Release the contract and every frame the client still holds (used
@@ -71,10 +88,12 @@ val add_region : t -> name:string -> first:int -> count:int -> unit
 
 val regions : t -> (string * int * int) list
 
-val alloc_specific : t -> client -> pfn:int -> (unit, string) result
+val alloc_specific : t -> client -> pfn:int -> (unit, error) result
 (** Request exactly frame [pfn]. *)
 
-val alloc_in_region : t -> client -> region:string -> int option
+val alloc_in_region : t -> client -> region:string -> (int, error) result
+(** A frame inside the named region: [No_such_region] if the region
+    was never declared, [No_matching_frame] if it has no free frame. *)
 
 val alloc_colored : t -> client -> color:int -> colors:int -> int option
 (** A frame whose number is congruent to [color] modulo [colors] —
@@ -100,6 +119,9 @@ val guarantee : client -> int
 val optimistic_quota : client -> int
 val held : client -> int
 val domain_id : client -> int
+val client_of_domain : t -> int -> client option
+(** O(1) lookup of a live client by owning domain id. *)
+
 val is_live : client -> bool
 val free_frames : t -> int
 val total_frames : t -> int

@@ -2,6 +2,17 @@ open Hw
 
 type mode = Shared | Private
 
+(* Mapped-file domains have no degradation path of their own: an
+   unrecoverable store error (or a retirement race) takes the domain
+   down with the same messages the untyped API used to raise. *)
+let fs_exn = function
+  | Ok () -> ()
+  | Error (`Media m) ->
+    failwith
+      (Printf.sprintf "File_store: unrecoverable media error at lba %d"
+         m.Usbs.Usd.bad_lba)
+  | Error `Retired -> failwith "File_store: client retired"
+
 type backing = From_file | From_cow of int
 
 type pstate =
@@ -83,8 +94,9 @@ let evict_one st =
       (match (st.mode, dirty, backing) with
       | Shared, true, _ ->
         (* Write back to the file itself. *)
-        Usbs.File_store.write_page st.store st.file ~client:st.client
-          ~page_index:victim;
+        fs_exn
+          (Usbs.File_store.write_page st.store st.file ~client:st.client
+             ~page_index:victim);
         st.file_writebacks <- st.file_writebacks + 1;
         st.pages.(victim) <- On_file
       | Private, true, _ ->
@@ -100,8 +112,9 @@ let evict_one st =
             | Some slot -> slot
             | None -> failwith "mapped driver: cow backing exhausted")
         in
-        Usbs.File_store.write_page st.store (Option.get st.cow_backing)
-          ~client:st.client ~page_index:slot;
+        fs_exn
+          (Usbs.File_store.write_page st.store (Option.get st.cow_backing)
+             ~client:st.client ~page_index:slot);
         st.cow_writes <- st.cow_writes + 1;
         st.pages.(victim) <- On_cow slot
       | _, false, From_file -> st.pages.(victim) <- On_file
@@ -165,14 +178,16 @@ let full st (fault : Fault.t) =
           let backing =
             match where with
             | On_file ->
-              Usbs.File_store.read_page st.store st.file ~client:st.client
-                ~page_index:page;
+              fs_exn
+                (Usbs.File_store.read_page st.store st.file ~client:st.client
+                   ~page_index:page);
               st.file_reads <- st.file_reads + 1;
               From_file
             | On_cow slot ->
-              Usbs.File_store.read_page st.store
-                (Option.get st.cow_backing) ~client:st.client
-                ~page_index:slot;
+              fs_exn
+                (Usbs.File_store.read_page st.store
+                   (Option.get st.cow_backing) ~client:st.client
+                   ~page_index:slot);
               st.cow_reads <- st.cow_reads + 1;
               From_cow slot
             | Resident _ -> assert false

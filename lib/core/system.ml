@@ -30,6 +30,39 @@ let default_config =
     sfs_journal_blocks = 0;
     fs_journal_blocks = 0 }
 
+type error =
+  | Cpu_admission of { reason : string }
+  | Frames_admission of Frames.error
+  | Usd_admission of { reason : string }
+  | Swap_open of { name : string; error : Usbs.Sfs.open_error }
+  | No_detached_swap of { name : string }
+  | Swap_attached of { name : string }
+  | Store_error of { reason : string }
+  | Driver_error of { reason : string }
+  | Not_a_driver_factory of { path : string }
+  | No_driver_published of { path : string }
+
+(* The printers reproduce the exact strings the stringly API returned,
+   so reports and failwith-style consumers keep their messages. *)
+let pp_error ppf = function
+  | Cpu_admission { reason } -> Format.fprintf ppf "cpu: %s" reason
+  | Frames_admission e -> Format.fprintf ppf "frames: %a" Frames.pp_error e
+  | Usd_admission { reason } -> Format.pp_print_string ppf reason
+  | Swap_open { error; _ } ->
+    Format.pp_print_string ppf (Usbs.Sfs.open_error_message error)
+  | No_detached_swap { name } ->
+    Format.fprintf ppf "no detached swapfile %S to reattach" name
+  | Swap_attached { name } ->
+    Format.fprintf ppf "swapfile %S is still attached" name
+  | Store_error { reason } | Driver_error { reason } ->
+    Format.pp_print_string ppf reason
+  | Not_a_driver_factory { path } ->
+    Format.fprintf ppf "%S is not a stretch-driver factory" path
+  | No_driver_published { path } ->
+    Format.fprintf ppf "no driver published at %S" path
+
+let error_message e = Format.asprintf "%a" pp_error e
+
 type domain_spec = {
   sp_name : string;
   sp_cpu_period : Time.span;
@@ -68,7 +101,7 @@ and t = {
 }
 
 type Namespace.entry +=
-  | Driver_factory of (domain -> Stretch.t -> (Stretch_driver.t, string) result)
+  | Driver_factory of (domain -> Stretch.t -> (Stretch_driver.t, error) result)
 
 (* Stretchable virtual addresses start above a reserved system region. *)
 let va_base = 0x1000_0000
@@ -147,12 +180,12 @@ let add_domain t ~name ?(cpu_period = Time.ms 10) ?(cpu_slice = Time.us 500)
   match
     Cpu.admit t.the_cpu ~name ~period:cpu_period ~slice:cpu_slice ()
   with
-  | Error e -> Error ("cpu: " ^ e)
+  | Error reason -> Error (Cpu_admission { reason })
   | Ok cpu_client ->
     (match Frames.admit t.the_frames ~domain:t.next_id ~guarantee ~optimistic with
     | Error e ->
       Cpu.remove t.the_cpu cpu_client;
-      Error ("frames: " ^ e)
+      Error (Frames_admission e)
     | Ok frames_client ->
       let id = t.next_id in
       t.next_id <- t.next_id + 1;
@@ -209,14 +242,14 @@ let free_stretch d s =
 
 let bind_nailed d s =
   match Sd_nailed.create d.env with
-  | Error _ as e -> e
+  | Error reason -> Error (Driver_error { reason })
   | Ok driver ->
     Mm_entry.bind d.mm s driver;
     Ok driver
 
 let bind_physical d ?prealloc s =
   match Sd_physical.create ?prealloc d.env with
-  | Error _ as e -> e
+  | Error reason -> Error (Driver_error { reason })
   | Ok driver ->
     Mm_entry.bind d.mm s driver;
     Ok driver
@@ -227,7 +260,7 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
     Usbs.Usd.admit d.sys.the_usd
       ~name:(dom_name ^ "." ^ Usbs.File_store.file_name file) ~qos ()
   with
-  | Error _ as e -> e
+  | Error reason -> Error (Usd_admission { reason })
   | Ok client ->
     let cow_backing =
       match mode with
@@ -239,7 +272,7 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
              ~bytes:s.Stretch.bytes
          with
         | Ok f -> Ok (Some f)
-        | Error e -> Error e)
+        | Error reason -> Error (Store_error { reason }))
     in
     (match cow_backing with
     | Error e ->
@@ -250,9 +283,9 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
          Sd_mapped.create ?initial_frames ~mode ~store:d.sys.the_store ~file
            ~client ?cow_backing d.env
        with
-      | Error e ->
+      | Error reason ->
         Usbs.Usd.retire d.sys.the_usd client;
-        Error e
+        Error (Driver_error { reason })
       | Ok (driver, info) ->
         Mm_entry.bind d.mm s driver;
         Domains.on_kill d.dom (fun () ->
@@ -261,20 +294,20 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
 
 let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
     ?(restartable = false) ~swap_bytes ~qos s () =
+  let swap_name = Domains.name d.dom ^ ".swap" in
   match
-    Usbs.Sfs.open_swap d.sys.the_sfs
-      ~name:(Domains.name d.dom ^ ".swap") ~bytes:swap_bytes ~qos ?spare_pages
-      ()
+    Usbs.Sfs.open_swap d.sys.the_sfs ~name:swap_name ~bytes:swap_bytes ~qos
+      ?spare_pages ()
   with
-  | Error e -> Error (Usbs.Sfs.open_error_message e)
+  | Error e -> Error (Swap_open { name = swap_name; error = e })
   | Ok swap ->
     (match
        Sd_paged.create ?forgetful ?initial_frames ?readahead ?policy ~swap
          d.env
      with
-    | Error e ->
+    | Error reason ->
       Usbs.Sfs.close_swap d.sys.the_sfs swap;
-      Error e
+      Error (Driver_error { reason })
     | Ok (driver, info) ->
       Mm_entry.bind d.mm s driver;
       (* A restartable domain's swapfile survives its death detached —
@@ -293,18 +326,16 @@ let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
 let bind_paged_restored d ?initial_frames ?readahead ?policy ~qos s () =
   let name = Domains.name d.dom ^ ".swap" in
   match Usbs.Sfs.reattach_swap d.sys.the_sfs ~name ~qos with
-  | Error `Unknown ->
-    Error (Printf.sprintf "no detached swapfile %S to reattach" name)
-  | Error `Attached ->
-    Error (Printf.sprintf "swapfile %S is still attached" name)
-  | Error (`Sfs e) -> Error e
+  | Error `Unknown -> Error (No_detached_swap { name })
+  | Error `Attached -> Error (Swap_attached { name })
+  | Error (`Sfs reason) -> Error (Store_error { reason })
   | Ok (swap, restore) ->
     (match
        Sd_paged.create ?initial_frames ?readahead ?policy ~restore ~swap d.env
      with
-    | Error e ->
+    | Error reason ->
       Usbs.Sfs.detach_swap d.sys.the_sfs swap;
-      Error e
+      Error (Driver_error { reason })
     | Ok (driver, info) ->
       Mm_entry.bind d.mm s driver;
       Domains.on_kill d.dom (fun () ->
@@ -328,5 +359,5 @@ let publish_standard_drivers t =
 let bind_by_name d ~path s =
   match Namespace.lookup d.sys.names ~path with
   | Some (Driver_factory f) -> f d s
-  | Some _ -> Error (Printf.sprintf "%S is not a stretch-driver factory" path)
-  | None -> Error (Printf.sprintf "no driver published at %S" path)
+  | Some _ -> Error (Not_a_driver_factory { path })
+  | None -> Error (No_driver_published { path })

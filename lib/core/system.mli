@@ -41,6 +41,26 @@ val default_config : config
 
 type t
 
+(** Typed errors for domain admission and stretch binding. The
+    printers render the exact messages the stringly API used to
+    return, so experiments and reports are unchanged. *)
+type error =
+  | Cpu_admission of { reason : string }
+      (** CPU admission control refused (utilisation Σ s/p would
+          exceed 1, or a malformed contract). *)
+  | Frames_admission of Frames.error
+  | Usd_admission of { reason : string }
+  | Swap_open of { name : string; error : Usbs.Sfs.open_error }
+  | No_detached_swap of { name : string }
+  | Swap_attached of { name : string }
+  | Store_error of { reason : string }
+  | Driver_error of { reason : string }
+  | Not_a_driver_factory of { path : string }
+  | No_driver_published of { path : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_message : error -> string
+
 type domain_spec = {
   sp_name : string;
   sp_cpu_period : Time.span;
@@ -61,7 +81,7 @@ type domain = private {
 }
 
 type Namespace.entry +=
-  | Driver_factory of (domain -> Stretch.t -> (Stretch_driver.t, string) result)
+  | Driver_factory of (domain -> Stretch.t -> (Stretch_driver.t, error) result)
         (** A published stretch-driver creator: applications look these
             up in the system name-space and bind by name. *)
 
@@ -98,7 +118,7 @@ val publish_standard_drivers : t -> unit
     ["drivers/physical"]. *)
 
 val bind_by_name :
-  domain -> path:string -> Stretch.t -> (Stretch_driver.t, string) result
+  domain -> path:string -> Stretch.t -> (Stretch_driver.t, error) result
 (** Look up a {!Driver_factory} in the name-space and bind with it. *)
 
 val run : ?until:Time.t -> t -> unit
@@ -108,14 +128,16 @@ val run : ?until:Time.t -> t -> unit
 
 val add_domain :
   t -> name:string -> ?cpu_period:Time.span -> ?cpu_slice:Time.span ->
-  guarantee:int -> optimistic:int -> unit -> (domain, string) result
-(** Admission control may refuse (CPU utilisation or Σg overflow). *)
+  guarantee:int -> optimistic:int -> unit -> (domain, error) result
+(** Admission control may refuse: [Cpu_admission] when CPU utilisation
+    would exceed 1, [Frames_admission Admission_overcommit] when Σg
+    would exceed main memory. *)
 
 val kill_domain : t -> domain -> unit
 
 val spec : domain -> domain_spec
 
-val respawn : t -> domain_spec -> (domain, string) result
+val respawn : t -> domain_spec -> (domain, error) result
 (** Re-admit a fresh domain under a dead one's original contract: same
     name, CPU period/slice and frame guarantee/optimistic allocation.
     Goes through the same admission control as {!add_domain} (it can
@@ -129,16 +151,16 @@ val alloc_stretch :
 
 val free_stretch : domain -> Stretch.t -> unit
 
-val bind_nailed : domain -> Stretch.t -> (Stretch_driver.t, string) result
+val bind_nailed : domain -> Stretch.t -> (Stretch_driver.t, error) result
 
 val bind_physical :
-  domain -> ?prealloc:int -> Stretch.t -> (Stretch_driver.t, string) result
+  domain -> ?prealloc:int -> Stretch.t -> (Stretch_driver.t, error) result
 
 val bind_paged :
   domain -> ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
   ?policy:Policy.Spec.t -> ?spare_pages:int -> ?restartable:bool ->
   swap_bytes:int -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
-  (Stretch_driver.t * Sd_paged.handle, string) result
+  (Stretch_driver.t * Sd_paged.handle, error) result
 (** Opens a swap file on the SFS (negotiating the disk QoS), creates a
     paged driver under [policy] (default: the seed FIFO/write-through
     behaviour) and binds it. [spare_pages] reserves bad-blok remap
@@ -150,7 +172,7 @@ val bind_paged :
 val bind_paged_restored :
   domain -> ?initial_frames:int -> ?readahead:int ->
   ?policy:Policy.Spec.t -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
-  (Stretch_driver.t * Sd_paged.handle, string) result
+  (Stretch_driver.t * Sd_paged.handle, error) result
 (** The restart path: reattach the detached swapfile the domain's
     previous incarnation left behind (found by name — the domain must
     be {!respawn}ed under the same name), and bind a paged driver that
@@ -162,7 +184,7 @@ val bind_paged_restored :
 val bind_mapped :
   domain -> mode:Sd_mapped.mode -> ?initial_frames:int ->
   file:Usbs.File_store.file -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
-  (Stretch_driver.t * (unit -> Sd_mapped.info), string) result
+  (Stretch_driver.t * (unit -> Sd_mapped.info), error) result
 (** Map a file-store file behind the stretch: admits a USD client under
     the domain's own guarantee for the data path; a [Private] mapping
     also allocates an anonymous copy-on-write backing file. *)

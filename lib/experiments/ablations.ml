@@ -324,7 +324,7 @@ let make_hoarder sys ~name ~mapped ~pages =
   match
     System.add_domain sys ~name ~guarantee:2 ~optimistic:pages ()
   with
-  | Error e -> failwith e
+  | Error e -> failwith (System.error_message e)
   | Ok d ->
     (match System.alloc_stretch d ~bytes:(pages * Hw.Addr.page_size) () with
     | Error e -> failwith e
@@ -342,7 +342,7 @@ let make_hoarder sys ~name ~mapped ~pages =
                  ~qos stretch ()
              with
             | Ok _ -> ()
-            | Error e -> failwith e);
+            | Error e -> failwith (System.error_message e));
             for i = 0 to pages - 1 do
               Domains.access d.System.dom (Stretch.page_base stretch i) `Write
             done)
@@ -350,7 +350,7 @@ let make_hoarder sys ~name ~mapped ~pages =
       else begin
         match System.bind_physical d ~prealloc:pages stretch with
         | Ok _ -> ()
-        | Error e -> failwith e
+        | Error e -> failwith (System.error_message e)
       end;
       d)
 
@@ -366,7 +366,7 @@ let run_revoke () =
     let requester =
       match System.add_domain sys ~name:"requester" ~guarantee:30 ~optimistic:0 () with
       | Ok d -> d
-      | Error e -> failwith e
+      | Error e -> failwith (System.error_message e)
     in
     let sim = System.sim sys in
     let got, latency =

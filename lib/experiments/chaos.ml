@@ -109,7 +109,7 @@ let start_doomed sys =
         ~optimistic:hog_pages ()
     with
     | Ok d -> d
-    | Error e -> failwith ("chaos: doomed: " ^ e)
+    | Error e -> failwith ("chaos: doomed: " ^ System.error_message e)
   in
   let s =
     match
@@ -120,7 +120,7 @@ let start_doomed sys =
   in
   (match System.bind_physical d s with
   | Ok _ -> ()
-  | Error e -> failwith ("chaos: doomed: " ^ e));
+  | Error e -> failwith ("chaos: doomed: " ^ System.error_message e));
   let sim = System.sim sys in
   ignore
     (Domains.spawn_thread d.System.dom ~name:"hog" (fun () ->
@@ -200,7 +200,7 @@ let run ?(seed = 42) ?(duration = Time.sec 30) () =
         ~optimistic:0
     with
     | Ok c -> c
-    | Error e -> failwith ("chaos: press: " ^ e)
+    | Error e -> failwith ("chaos: press: " ^ Frames.error_message e)
   in
   let first, nblocks = Workload.Paging_app.swap_extent victim in
   Inject.arm (plan_for ~seed ~first ~nblocks);

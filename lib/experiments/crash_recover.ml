@@ -67,7 +67,8 @@ let start_victim sys ~restart spec_opt =
   let d =
     match d with
     | Ok d -> d
-    | Error e -> failwith ("crash-recover: victim: " ^ e)
+    | Error e ->
+      failwith ("crash-recover: victim: " ^ System.error_message e)
   in
   let s =
     match
@@ -87,7 +88,8 @@ let start_victim sys ~restart spec_opt =
                ~swap_bytes:(2 * 1024 * 1024) ~qos:(qos ()) s ()
          in
          match bound with
-         | Error e -> Sync.Ivar.fill started (Error e)
+         | Error e ->
+           Sync.Ivar.fill started (Error (System.error_message e))
          | Ok (_driver, handle) ->
            Sync.Ivar.fill started (Ok handle);
            let touch p access =

@@ -29,7 +29,7 @@ let make_app sys ~name ~bytes =
     System.add_domain sys ~name ~cpu_period:(Time.ms 10)
       ~cpu_slice:(Time.of_ms_float 1.5) ~guarantee:2 ~optimistic:0 ()
   with
-  | Error e -> failwith (name ^ ": " ^ e)
+  | Error e -> failwith (name ^ ": " ^ System.error_message e)
   | Ok d ->
     (match System.alloc_stretch d ~bytes () with
     | Error e -> failwith (name ^ ": " ^ e)
@@ -121,7 +121,7 @@ let run_config ~external_ ~duration ~burst_pages ~burst_period =
           ~swap_bytes:(16 * 1024 * 1024) ~qos s ()
       with
       | Ok _ -> ()
-      | Error e -> failwith ("bind: " ^ e)
+      | Error e -> failwith ("bind: " ^ System.error_message e)
     in
     Harness.run_in_sim sys (fun () ->
         (* A CM-like client wants a short period so that a fresh

@@ -28,7 +28,7 @@ let bench_domain sys ?(guarantee = 256) ?(optimistic = 0) ~name () =
       ~cpu_slice:(Time.ms 9) ~guarantee ~optimistic ()
   with
   | Ok d -> d
-  | Error e -> failwith ("bench_domain: " ^ e)
+  | Error e -> failwith ("bench_domain: " ^ System.error_message e)
 
 let mean_span spans =
   match spans with

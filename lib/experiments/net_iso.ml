@@ -26,7 +26,8 @@ let run_shares ?(duration = Time.sec 30) () =
         ignore
           (Proc.spawn ~name sim (fun () ->
                let rec loop () =
-                 ignore (Usnet.Link.send link c ~bytes:packet_bytes);
+                 (match Usnet.Link.send link c ~bytes:packet_bytes with
+                 | Ok _ | Error `Retired -> ());
                  Proc.yield ();
                  loop ()
                in
@@ -77,7 +78,7 @@ let start_heavy_pager sys =
       System.add_domain sys ~name:"heavy" ~guarantee:2 ~optimistic:0 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes:(2 * 1024 * 1024) () with
@@ -92,7 +93,7 @@ let start_heavy_pager sys =
               ~swap_bytes:(8 * 1024 * 1024) ~qos s ()
           with
          | Ok _ -> ()
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          let n = Stretch.npages s in
          let rec loop () =
            for i = 0 to n - 1 do
@@ -140,7 +141,10 @@ let run_nemesis ~duration =
   ignore
     (Proc.spawn ~name:"stream" sim
        (streamer_loop ~sim
-          ~send:(fun () -> Usnet.Link.transmit link tx ~bytes:packet_bytes)
+          ~send:(fun () ->
+            match Usnet.Link.transmit link tx ~bytes:packet_bytes with
+            | Ok () -> ()
+            | Error `Retired -> failwith "net_iso: stream client retired")
           ~gap ~warmup stats));
   System.run sys ~until:duration;
   stats
@@ -163,7 +167,7 @@ let run_shared ~duration =
         ~guarantee:8 ~optimistic:0 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let ktx =
     match
@@ -179,7 +183,9 @@ let run_shared ~duration =
          let rec loop () =
            (match Sync.Mailbox.recv jobs with
            | Send_packet done_ ->
-             Usnet.Link.transmit link ktx ~bytes:packet_bytes;
+             (match Usnet.Link.transmit link ktx ~bytes:packet_bytes with
+             | Ok () -> ()
+             | Error `Retired -> failwith "net_iso: kernel tx retired");
              Sync.Ivar.fill done_ ()
            | Resolve (fault, backing) ->
              (match backing.Stretch_driver.full fault with
@@ -197,7 +203,7 @@ let run_shared ~duration =
   let heavy =
     match System.add_domain sys ~name:"heavy" ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let hs =
     match System.alloc_stretch heavy ~bytes:(2 * 1024 * 1024) () with

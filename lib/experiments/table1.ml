@@ -45,7 +45,7 @@ let bench_dirty ~page_table () =
   in
   (match System.bind_physical d ~prealloc:100 stretch with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   let dom = d.System.dom in
   Harness.run_in_sim sys (fun () ->
       (* Touch every page (half with writes so some dirty bits differ). *)

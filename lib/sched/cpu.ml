@@ -15,7 +15,10 @@ type client = {
 type t = {
   sim : Sim.t;
   edf : Edf.t;
-  mutable members : client list;
+  (* Clients indexed by EDF id: the scheduler looks members up on
+     every pick-next predicate call, so this must be O(1), not a
+     list scan. *)
+  members : (int, client) Hashtbl.t;
   kick : Sync.Waitq.t;
   mutable running : bool;
   (* Upper bound on one uninterrupted slack grant, so that budgeted
@@ -23,8 +26,7 @@ type t = {
   slack_quantum : Time.span;
 }
 
-let find_member t e =
-  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+let find_member t e = Hashtbl.find_opt t.members e.Edf.id
 
 (* Feed the QoS auditor at every period boundary: contracted slice vs
    what was actually consumed, and whether the client spent the whole
@@ -46,8 +48,8 @@ let audit_boundary t e ~unused ~boundary ~grants:_ =
 
 let create sim =
   let t =
-    { sim; edf = Edf.create (); members = []; kick = Sync.Waitq.create ();
-      running = false; slack_quantum = Time.ms 1 }
+    { sim; edf = Edf.create (); members = Hashtbl.create 64;
+      kick = Sync.Waitq.create (); running = false; slack_quantum = Time.ms 1 }
   in
   Edf.set_boundary_hook t.edf (audit_boundary t);
   t
@@ -60,7 +62,7 @@ let has_pending (c : client) = not (Queue.is_empty c.pending)
 
 let rec scheduler_loop t =
   let now = Sim.now t.sim in
-  ignore (Edf.replenish_all t.edf ~now);
+  Edf.replenish_due t.edf ~now;
   let runnable e =
     match find_member t e with Some c -> c.live && has_pending c | None -> false
   in
@@ -72,16 +74,18 @@ let rec scheduler_loop t =
     | None ->
       (* Nothing runnable: wait for work, but never past the next
          period boundary of a client that still has queued work (its
-         budget may return then). *)
+         budget may return then). The min over the member table is
+         order-independent, so hash iteration order cannot leak into
+         scheduling decisions. *)
       let next_dl =
-        List.fold_left
-          (fun best c ->
+        Hashtbl.fold
+          (fun _ c best ->
             if c.live && has_pending c then
               match best with
               | Some d when d <= c.edf.Edf.deadline -> best
               | _ -> Some c.edf.Edf.deadline
             else best)
-          None t.members
+          t.members None
       in
       (match next_dl with
       | Some d ->
@@ -124,23 +128,25 @@ let admit t ~name ~period ~slice ?(extra = true) () =
       { edf = e; pending = Queue.create (); live = true;
         backlogged_since = None }
     in
-    t.members <- c :: t.members;
+    Hashtbl.replace t.members e.Edf.id c;
     ensure_running t;
     Ok c
 
 let remove t (c : client) =
   c.live <- false;
   Edf.remove t.edf c.edf;
-  t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  Hashtbl.remove t.members c.edf.Edf.id;
   Sync.Waitq.broadcast t.kick
 
 let consume t (c : client) span =
   if span < 0 then invalid_arg "Cpu.consume: negative span";
-  if span > 0 then begin
-    if not c.live then failwith "Cpu.consume: client removed";
+  if span = 0 then Ok ()
+  else if not c.live then Error `Removed
+  else begin
     Proc.suspend (fun wake ->
         if Queue.is_empty c.pending then
           c.backlogged_since <- Some (Sim.now t.sim);
         Queue.add { left = span; wake = (fun () -> wake ()) } c.pending;
-        Sync.Waitq.broadcast t.kick)
+        Sync.Waitq.broadcast t.kick);
+    Ok ()
   end

@@ -23,9 +23,10 @@ val admit :
   unit -> (client, string) result
 (** [extra] defaults to [true]: domains may use slack CPU time. *)
 
-val consume : t -> client -> Time.span -> unit
+val consume : t -> client -> Time.span -> (unit, [ `Removed ]) result
 (** Block the calling process until the domain has been scheduled for
-    the given cumulative CPU time. [consume t c 0] returns at once. *)
+    the given cumulative CPU time. [consume t c 0] returns at once.
+    [Error `Removed] if the client's contract has been withdrawn. *)
 
 val remove : t -> client -> unit
 (** Withdraw the contract; pending requests are abandoned (their

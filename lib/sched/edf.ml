@@ -12,8 +12,21 @@ type client = {
   mutable slack_total : Time.span;
 }
 
+(* Members live on an intrusive list in admission order (iteration
+   order is observable through traces and the boundary hook, so it
+   must stay deterministic and match the seed's append-only list).
+   The pick-next paths go through a lazy-deletion binary heap keyed
+   by (deadline, id): every deadline change pushes a fresh entry, and
+   entries whose key no longer matches the client's live deadline —
+   or whose client has been removed — are discarded when they surface
+   at the top. The (deadline, id) order reproduces the seed fold's
+   tie-break exactly: ids are handed out in admission order and the
+   fold kept the first-admitted client on equal deadlines. *)
 type t = {
-  mutable members : client list;
+  members : client Ilist.t;
+  nodes : (int, client Ilist.node) Hashtbl.t;
+  by_id : (int, client) Hashtbl.t;
+  deadlines : client Heap.t;
   mutable next_id : int;
   rollover : bool;
   mutable on_boundary :
@@ -22,16 +35,28 @@ type t = {
 }
 
 let create ?(rollover = true) () =
-  { members = []; next_id = 0; rollover; on_boundary = None }
+  {
+    members = Ilist.create ();
+    nodes = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
+    deadlines = Heap.create ();
+    next_id = 0;
+    rollover;
+    on_boundary = None;
+  }
 
 let set_boundary_hook t f = t.on_boundary <- Some f
-
-let clients t = t.members
+let clients t = Ilist.to_list t.members
+let length t = Ilist.length t.members
+let find t id = Hashtbl.find_opt t.by_id id
 
 let utilisation t =
-  List.fold_left
+  Ilist.fold
     (fun acc c -> acc +. (float_of_int c.slice /. float_of_int c.period))
     0.0 t.members
+
+let push_deadline t c = Heap.push t.deadlines ~key:c.deadline ~sub:c.id c
+let live t ~key c = Hashtbl.mem t.by_id c.id && c.deadline = key
 
 let admit t ~name ~period ~slice ?(extra = false) ~now () =
   if period <= 0 || slice <= 0 then Error "period and slice must be positive"
@@ -47,12 +72,24 @@ let admit t ~name ~period ~slice ?(extra = false) ~now () =
           used_total = 0; slack_total = 0 }
       in
       t.next_id <- t.next_id + 1;
-      t.members <- t.members @ [ c ];
+      let node = Ilist.make_node c in
+      Ilist.push_back t.members node;
+      Hashtbl.replace t.nodes c.id node;
+      Hashtbl.replace t.by_id c.id c;
+      push_deadline t c;
       Ok c
     end
   end
 
-let remove t c = t.members <- List.filter (fun c' -> c'.id <> c.id) t.members
+(* Heap entries for a removed client are discarded lazily as they
+   surface at the top of the heap. *)
+let remove t c =
+  match Hashtbl.find_opt t.nodes c.id with
+  | None -> ()
+  | Some node ->
+    Ilist.remove t.members node;
+    Hashtbl.remove t.nodes c.id;
+    Hashtbl.remove t.by_id c.id
 
 let replenish t ~now c =
   let grants = ref 0 in
@@ -68,6 +105,7 @@ let replenish t ~now c =
      allocations: each boundary above reset [remaining] to at most one
      slice, and the deadline caught up one period at a time. *)
   if !grants > 0 then begin
+    push_deadline t c;
     match t.on_boundary with
     | Some f -> f c ~unused ~boundary:first_boundary ~grants:!grants
     | None -> ()
@@ -79,7 +117,18 @@ let replenish_all t ~now =
     (fun c ->
       let g = replenish t ~now c in
       if g > 0 then Some (c, g) else None)
-    t.members
+    (Ilist.to_list t.members)
+
+let rec replenish_due t ~now =
+  match Heap.peek t.deadlines with
+  | None -> ()
+  | Some (key, _, _) when key > now -> ()
+  | Some (key, _, c) ->
+    ignore (Heap.pop t.deadlines);
+    (* [replenish] pushes the caught-up deadline, which lands past
+       [now], so each live client is visited at most once per call. *)
+    if live t ~key c then ignore (replenish t ~now c);
+    replenish_due t ~now
 
 let charge c span =
   c.remaining <- c.remaining - span;
@@ -91,33 +140,45 @@ let charge_slack c span =
 
 let has_budget c = c.remaining > 0
 
+(* Pop entries in (deadline, id) order until one satisfies [pred].
+   Stale entries are dropped for good; live entries that fail [pred]
+   are stashed and pushed back, as is the winner (a live client keeps
+   exactly one current heap entry). *)
+let heap_select t ~pred =
+  let stash = ref [] in
+  let rec go () =
+    match Heap.pop t.deadlines with
+    | None -> None
+    | Some (key, sub, c) ->
+      if not (live t ~key c) then go ()
+      else if pred c then Some (key, sub, c)
+      else begin
+        stash := (key, sub, c) :: !stash;
+        go ()
+      end
+  in
+  let winner = go () in
+  (match winner with
+  | Some (key, sub, c) -> Heap.push t.deadlines ~key ~sub c
+  | None -> ());
+  List.iter (fun (key, sub, c) -> Heap.push t.deadlines ~key ~sub c) !stash;
+  match winner with Some (_, _, c) -> Some c | None -> None
+
 let select ?(only = fun _ -> true) t ~now:_ =
-  List.fold_left
-    (fun best c ->
-      if has_budget c && only c then
-        match best with
-        | Some b when b.deadline <= c.deadline -> best
-        | _ -> Some c
-      else best)
-    None t.members
+  heap_select t ~pred:(fun c -> has_budget c && only c)
 
 let select_slack ?(only = fun _ -> true) t ~now:_ =
-  List.fold_left
-    (fun best c ->
-      if c.extra && only c then
-        match best with
-        | Some b when b.deadline <= c.deadline -> best
-        | _ -> Some c
-      else best)
-    None t.members
+  heap_select t ~pred:(fun c -> c.extra && only c)
 
-let next_deadline t =
-  List.fold_left
-    (fun best c ->
-      match best with
-      | Some d when d <= c.deadline -> best
-      | _ -> Some c.deadline)
-    None t.members
+let rec next_deadline t =
+  match Heap.peek t.deadlines with
+  | None -> None
+  | Some (key, _, c) ->
+    if live t ~key c then Some key
+    else begin
+      ignore (Heap.pop t.deadlines);
+      next_deadline t
+    end
 
 let pp_client ppf c =
   Format.fprintf ppf "%s(p=%a,s=%a,dl=%a,rem=%a)" c.cname Time.pp_span

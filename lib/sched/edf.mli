@@ -39,6 +39,13 @@ val admit :
 val remove : t -> client -> unit
 
 val clients : t -> client list
+(** Live clients in admission order. *)
+
+val length : t -> int
+(** Number of live clients, O(1). *)
+
+val find : t -> int -> client option
+(** Look up a live client by id, O(1). *)
 
 val utilisation : t -> float
 
@@ -60,7 +67,13 @@ val replenish : t -> now:Time.t -> client -> int
     allocations. *)
 
 val replenish_all : t -> now:Time.t -> (client * int) list
-(** Replenish every client; returns those granted new allocations. *)
+(** Replenish every client in admission order; returns those granted
+    new allocations. O(n) — prefer {!replenish_due} on hot paths. *)
+
+val replenish_due : t -> now:Time.t -> unit
+(** Replenish exactly the clients whose deadline is at or before
+    [now], found through the deadline heap in (deadline, id) order:
+    O(k log n) for k due clients rather than a scan of all n. *)
 
 val charge : client -> Time.span -> unit
 
@@ -73,7 +86,10 @@ val has_budget : client -> bool
 
 val select : ?only:(client -> bool) -> t -> now:Time.t -> client option
 (** Earliest-deadline client with budget satisfying [only]. Callers
-    must [replenish_all] first. *)
+    must replenish first ({!replenish_due} or {!replenish_all}).
+    Backed by a lazy-deletion heap keyed (deadline, id), so ties on
+    the deadline go to the earliest-admitted client — the same winner
+    the seed's member-list fold produced. *)
 
 val select_slack : ?only:(client -> bool) -> t -> now:Time.t -> client option
 (** Earliest-deadline slack-eligible ([extra]) client satisfying

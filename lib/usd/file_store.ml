@@ -202,17 +202,14 @@ let rw t f ~client op ~page_index =
       Usd.transact t.u client op ~lba:(lba_of_page f page_index)
         ~nblocks:f.page_blocks
     with
-    | Ok () -> ()
+    | Ok () -> Ok ()
     | Error (`Media m) when (not m.Usd.persistent) && attempt < 3 ->
       Inject.note_retried "file_store";
       go ~attempt:(attempt + 1)
     | Error (`Media m) ->
       Inject.note_killed "file_store";
-      failwith
-        (Printf.sprintf "File_store: unrecoverable media error at lba %d"
-           m.Usd.bad_lba)
-    | Error `Cancelled | Error `Retired ->
-      failwith "File_store: client retired"
+      Error (`Media m)
+    | Error `Cancelled | Error `Retired -> Error `Retired
   in
   go ~attempt:0
 

@@ -60,12 +60,16 @@ val lba_of_page : file -> int -> int
 
 (** {2 Data path (caller-supplied USD client)} *)
 
-val read_page : t -> file -> client:Usd.client -> page_index:int -> unit
-(** Retries transient media errors a few times; raises [Failure] on an
-    unrecoverable error or a retired client (file-store clients have no
-    degradation path of their own). *)
+val read_page :
+  t -> file -> client:Usd.client -> page_index:int ->
+  (unit, [ `Media of Usd.media | `Retired ]) result
+(** Retries transient media errors a few times; [`Media] reports an
+    unrecoverable error (already tallied against the recovery books),
+    [`Retired] a client retired or cancelled mid-request. *)
 
-val write_page : t -> file -> client:Usd.client -> page_index:int -> unit
+val write_page :
+  t -> file -> client:Usd.client -> page_index:int ->
+  (unit, [ `Media of Usd.media | `Retired ]) result
 
 val read_page_async :
   t -> file -> client:Usd.client -> page_index:int ->

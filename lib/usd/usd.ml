@@ -46,7 +46,12 @@ type t = {
   sim : Sim.t;
   dm : Disk_model.t;
   edf : Edf.t;
-  mutable members : client list;
+  (* Streams in admission order (replenish iterates it, and the trace
+     it records is compared bit-for-bit by tests), plus an id-keyed
+     node table so the scheduler's per-decision member lookups are
+     O(1) rather than a list scan. *)
+  members : client Ilist.t;
+  nodes : (int, client Ilist.node) Hashtbl.t;
   kick : Sync.Waitq.t;
   events : event Trace.t;
   laxity_enabled : bool;
@@ -54,7 +59,7 @@ type t = {
 }
 
 let find_member t e =
-  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+  Option.map Ilist.value (Hashtbl.find_opt t.nodes e.Edf.id)
 
 (* Feed the QoS auditor at stream period boundaries (cf. Cpu). *)
 let audit_boundary t e ~unused ~boundary ~grants:_ =
@@ -74,9 +79,9 @@ let audit_boundary t e ~unused ~boundary ~grants:_ =
 
 let create ?(rollover = true) ?(laxity_enabled = true) sim dm =
   let t =
-    { sim; dm; edf = Edf.create ~rollover (); members = [];
-      kick = Sync.Waitq.create (); events = Trace.create ();
-      laxity_enabled; running = false }
+    { sim; dm; edf = Edf.create ~rollover (); members = Ilist.create ();
+      nodes = Hashtbl.create 64; kick = Sync.Waitq.create ();
+      events = Trace.create (); laxity_enabled; running = false }
   in
   Edf.set_boundary_hook t.edf (audit_boundary t);
   t
@@ -97,7 +102,7 @@ let has_pending (c : client) = not (Io_channel.is_empty c.channel)
 (* Grant period-boundary allocations; a new allocation puts an idled
    client back on the runnable queue with a fresh lax allowance. *)
 let replenish t ~now =
-  List.iter
+  Ilist.iter
     (fun (c : client) ->
       if c.live then begin
         let grants = Edf.replenish t.edf ~now c.edf in
@@ -247,7 +252,9 @@ let admit t ~name ~qos ?(channel_depth = 64) () =
         lax_left = qos.Qos.laxity; idled = false; live = true; txns = 0;
         bytes = 0; lax_used = 0; backlogged_since = None }
     in
-    t.members <- t.members @ [ c ];
+    let node = Ilist.make_node c in
+    Ilist.push_back t.members node;
+    Hashtbl.replace t.nodes e.Edf.id node;
     ensure_running t;
     Sync.Waitq.broadcast t.kick;
     Ok c
@@ -266,7 +273,11 @@ let drain_cancelled (c : client) =
 let retire t (c : client) =
   c.live <- false;
   Edf.remove t.edf c.edf;
-  t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  (match Hashtbl.find_opt t.nodes c.edf.Edf.id with
+  | Some node ->
+    Ilist.remove t.members node;
+    Hashtbl.remove t.nodes c.edf.Edf.id
+  | None -> ());
   (* Unblock waiters: requests still queued will never be scheduled. *)
   drain_cancelled c;
   c.backlogged_since <- None;

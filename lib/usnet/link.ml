@@ -22,15 +22,20 @@ type t = {
   sim : Sim.t;
   params : Net_params.t;
   edf : Edf.t;
-  mutable members : client list;
+  (* Clients in admission order (replenish records trace events while
+     walking it) plus an id-keyed node table for O(1) member lookups
+     on the pick-next path. *)
+  members : client Ilist.t;
+  nodes : (int, client Ilist.node) Hashtbl.t;
   kick : Sync.Waitq.t;
   events : event Trace.t;
   mutable running : bool;
 }
 
 let create ?(params = Net_params.fast_ethernet) ?(rollover = true) sim =
-  { sim; params; edf = Edf.create ~rollover (); members = [];
-    kick = Sync.Waitq.create (); events = Trace.create (); running = false }
+  { sim; params; edf = Edf.create ~rollover (); members = Ilist.create ();
+    nodes = Hashtbl.create 64; kick = Sync.Waitq.create ();
+    events = Trace.create (); running = false }
 
 let client_name (c : client) = c.edf.Edf.cname
 let packets_sent (c : client) = c.packets
@@ -40,12 +45,12 @@ let trace t = t.events
 let utilisation t = Edf.utilisation t.edf
 
 let find_member t e =
-  List.find_opt (fun (c : client) -> c.edf.Edf.id = e.Edf.id) t.members
+  Option.map Ilist.value (Hashtbl.find_opt t.nodes e.Edf.id)
 
 let has_pending (c : client) = not (Queue.is_empty c.ring)
 
 let replenish t ~now =
-  List.iter
+  Ilist.iter
     (fun (c : client) ->
       if c.live && Edf.replenish t.edf ~now c.edf > 0 then
         Trace.record t.events now (Alloc { client = client_name c }))
@@ -81,7 +86,7 @@ let rec scheduler_loop t =
       (* Sleep to the next period boundary of a client with queued
          packets, or until a new submission. *)
       let next_dl =
-        List.fold_left
+        Ilist.fold
           (fun best (c : client) ->
             if c.live && has_pending c then
               match best with
@@ -114,7 +119,9 @@ let admit t ~name ~period ~slice ?(extra = false) ?(queue_depth = 64) () =
         { edf = e; ring = Queue.create (); depth = queue_depth;
           senders = Queue.create (); live = true; packets = 0; sent_bytes = 0 }
       in
-      t.members <- t.members @ [ c ];
+      let node = Ilist.make_node c in
+      Ilist.push_back t.members node;
+      Hashtbl.replace t.nodes e.Edf.id node;
       ensure_running t;
       Sync.Waitq.broadcast t.kick;
       Ok c
@@ -122,16 +129,27 @@ let admit t ~name ~period ~slice ?(extra = false) ?(queue_depth = 64) () =
 let retire t (c : client) =
   c.live <- false;
   Edf.remove t.edf c.edf;
-  t.members <- List.filter (fun (c' : client) -> c'.edf.Edf.id <> c.edf.Edf.id) t.members;
+  (match Hashtbl.find_opt t.nodes c.edf.Edf.id with
+  | Some node ->
+    Ilist.remove t.members node;
+    Hashtbl.remove t.nodes c.edf.Edf.id
+  | None -> ());
   Sync.Waitq.broadcast t.kick
 
 let send t (c : client) ~bytes =
-  if not c.live then failwith "Link.send: client retired";
-  if Queue.length c.ring >= c.depth then
-    Proc.suspend (fun wake -> Queue.add wake c.senders);
-  let completion = Sync.Ivar.create () in
-  Queue.add { bytes; completion } c.ring;
-  Sync.Waitq.broadcast t.kick;
-  completion
+  if not c.live then Error `Retired
+  else begin
+    if Queue.length c.ring >= c.depth then
+      Proc.suspend (fun wake -> Queue.add wake c.senders);
+    let completion = Sync.Ivar.create () in
+    Queue.add { bytes; completion } c.ring;
+    Sync.Waitq.broadcast t.kick;
+    Ok completion
+  end
 
-let transmit t c ~bytes = Sync.Ivar.read (send t c ~bytes)
+let transmit t c ~bytes =
+  match send t c ~bytes with
+  | Error `Retired -> Error `Retired
+  | Ok completion ->
+    Sync.Ivar.read completion;
+    Ok ()

@@ -35,11 +35,12 @@ val admit :
 
 val retire : t -> client -> unit
 
-val send : t -> client -> bytes:int -> unit Sync.Ivar.t
+val send : t -> client -> bytes:int -> (unit Sync.Ivar.t, [ `Retired ]) result
 (** Enqueue one packet (blocking while the ring is full); the ivar
-    fills when the packet has left the wire. *)
+    fills when the packet has left the wire. [Error `Retired] if the
+    client has been retired. *)
 
-val transmit : t -> client -> bytes:int -> unit
+val transmit : t -> client -> bytes:int -> (unit, [ `Retired ]) result
 (** [send] then wait. *)
 
 val packets_sent : client -> int

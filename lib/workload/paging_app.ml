@@ -141,7 +141,7 @@ let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
     System.add_domain sys ~name ~cpu_period:(Time.ms 10) ~cpu_slice
       ~guarantee:phys_frames ~optimistic ()
   with
-  | Error _ as e -> e
+  | Error e -> Error (System.error_message e)
   | Ok d ->
     (match System.alloc_stretch d ~bytes:vm_bytes () with
     | Error _ as e -> e
@@ -157,7 +157,8 @@ let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
                System.bind_paged d ~forgetful ~initial_frames:phys_frames
                  ?readahead ?policy ?spare_pages ~swap_bytes ~qos stretch ()
              with
-             | Error e -> Sync.Ivar.fill started (Error e)
+             | Error e ->
+               Sync.Ivar.fill started (Error (System.error_message e))
              | Ok (_driver, handle) ->
                let bytes = ref 0 in
                let watcher =

@@ -350,7 +350,7 @@ let frames_guarantee_and_optimism () =
   let a =
     match Frames.admit fr ~domain:1 ~guarantee:2 ~optimistic:4 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   let got = ref [] in
   ignore
@@ -382,12 +382,12 @@ let frames_transparent_revocation () =
   let hoarder =
     match Frames.admit fr ~domain:1 ~guarantee:1 ~optimistic:7 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   let claimant =
     match Frames.admit fr ~domain:2 ~guarantee:4 ~optimistic:0 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   let claimed = ref 0 in
   ignore
@@ -418,12 +418,12 @@ let frames_intrusive_revocation () =
   let hoarder =
     match Frames.admit fr ~domain:1 ~guarantee:1 ~optimistic:7 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   let claimant =
     match Frames.admit fr ~domain:2 ~guarantee:4 ~optimistic:0 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   (* The hoarder cooperates: on notification it "cleans" (marks
      unused) the requested frames after a delay. *)
@@ -463,12 +463,12 @@ let frames_kill_on_timeout () =
   let hoarder =
     match Frames.admit fr ~domain:1 ~guarantee:1 ~optimistic:7 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   let claimant =
     match Frames.admit fr ~domain:2 ~guarantee:4 ~optimistic:0 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   (* The hoarder ignores the notification entirely. *)
   Frames.set_revocation_handler hoarder (fun ~k:_ ~deadline:_ -> ());

@@ -15,7 +15,7 @@ let small_sys () =
 let add_domain_exn sys ~name ~guarantee ~optimistic =
   match System.add_domain sys ~name ~guarantee ~optimistic () with
   | Ok d -> d
-  | Error e -> failwith e
+  | Error e -> failwith (System.error_message e)
 
 let alloc_exn d ~bytes =
   match System.alloc_stretch d ~bytes () with
@@ -43,7 +43,7 @@ let physical_driver_demand_zero () =
   let s = alloc_exn d ~bytes:(4 * Addr.page_size) in
   (match System.bind_physical d s with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   in_domain sys d (fun () ->
       for i = 0 to 3 do
         Domains.access d.System.dom (Stretch.page_base s i) `Write
@@ -62,7 +62,7 @@ let physical_driver_fast_path () =
   let s = alloc_exn d ~bytes:(4 * Addr.page_size) in
   (match System.bind_physical d ~prealloc:4 s with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   in_domain sys d (fun () ->
       for i = 0 to 3 do
         Domains.access d.System.dom (Stretch.page_base s i) `Write
@@ -89,7 +89,7 @@ let access_violation_fails () =
   let s = alloc_exn d ~bytes:Addr.page_size in
   (match System.bind_physical d s with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   (* Drop the owner's write right (keep meta). *)
   let denied =
     in_domain sys d (fun () ->
@@ -116,7 +116,7 @@ let nailed_driver_never_faults () =
   in_domain sys d (fun () ->
       (match System.bind_nailed d s with
       | Ok _ -> ()
-      | Error e -> failwith e);
+      | Error e -> failwith (System.error_message e));
       for i = 0 to 3 do
         Domains.access d.System.dom (Stretch.page_base s i) `Write
       done);
@@ -144,7 +144,7 @@ let paged_driver_swaps () =
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
           with
           | Ok x -> x
-          | Error e -> failwith e
+          | Error e -> failwith (System.error_message e)
         in
         (* Two passes over 8 pages with 2 frames: the first demand
            zeroes, the second pages in what the first paged out. *)
@@ -174,7 +174,7 @@ let paged_driver_clean_pages_skip_writeback () =
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
           with
           | Ok x -> x
-          | Error e -> failwith e
+          | Error e -> failwith (System.error_message e)
         in
         (* Populate (dirty), then two read-only passes: clean pages are
            evicted without further write-backs. *)
@@ -210,7 +210,7 @@ let paged_driver_forgetful_never_reads () =
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
           with
           | Ok x -> x
-          | Error e -> failwith e
+          | Error e -> failwith (System.error_message e)
         in
         for _ = 1 to 3 do
           for i = 0 to 7 do
@@ -230,7 +230,7 @@ let mm_entry_revocation () =
   let hs = alloc_exn hoarder ~bytes:(32 * Addr.page_size) in
   (match System.bind_physical hoarder hs with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   (* Use all of memory (2MB = 256 frames; hoarder takes 32 mapped). *)
   in_domain sys hoarder (fun () ->
       for i = 0 to 31 do
@@ -265,7 +265,7 @@ let kill_domain_releases_everything () =
   let s = alloc_exn d ~bytes:(8 * Addr.page_size) in
   (match System.bind_physical d s with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   in_domain sys d (fun () ->
       for i = 0 to 7 do
         Domains.access d.System.dom (Stretch.page_base s i) `Write
@@ -294,7 +294,7 @@ let cross_domain_sharing () =
   in_domain sys a (fun () ->
       (match System.bind_nailed a s with
       | Ok _ -> ()
-      | Error e -> failwith e);
+      | Error e -> failwith (System.error_message e));
       (* Grant read (no write, no meta) to the consumer. *)
       match
         Stretch.set_rights_pdom s ~caller:(Domains.pdom a.System.dom)

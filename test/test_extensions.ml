@@ -17,7 +17,7 @@ let entry_fast_and_slow () =
   let d =
     match System.add_domain sys ~name:"e" ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let slow_jobs = ref [] in
   let entry =
@@ -40,7 +40,7 @@ let entry_defer_skips_fast () =
   let d =
     match System.add_domain sys ~name:"e" ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let entry =
     Entry.create d.System.dom ~name:"test"
@@ -62,7 +62,7 @@ let placement_fixture () =
   let c =
     match Frames.admit fr ~domain:1 ~guarantee:8 ~optimistic:8 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   (fr, c)
 
@@ -70,7 +70,7 @@ let frames_specific () =
   let fr, c = placement_fixture () in
   (match Frames.alloc_specific fr c ~pfn:17 with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Frames.error_message e));
   checkb "on the stack" true (Frame_stack.mem (Frames.frame_stack c) 17);
   (match Frames.alloc_specific fr c ~pfn:17 with
   | Error _ -> ()
@@ -86,14 +86,16 @@ let frames_region () =
     "region recorded" [ ("dma", 32, 8) ] (Frames.regions fr);
   for _ = 1 to 8 do
     match Frames.alloc_in_region fr c ~region:"dma" with
-    | Some pfn -> checkb "inside region" true (pfn >= 32 && pfn < 40)
-    | None -> Alcotest.fail "region allocation failed"
+    | Ok pfn -> checkb "inside region" true (pfn >= 32 && pfn < 40)
+    | Error e -> Alcotest.fail (Frames.error_message e)
   done;
   (* Region exhausted (and the client also hit its g+o quota of 16). *)
   checkb "region exhausted" true
-    (Frames.alloc_in_region fr c ~region:"dma" = None);
-  checkb "unknown region" true
-    (Frames.alloc_in_region fr c ~region:"nvram" = None)
+    (Frames.alloc_in_region fr c ~region:"dma" = Error Frames.No_matching_frame);
+  (match Frames.alloc_in_region fr c ~region:"nvram" with
+  | Error (Frames.No_such_region { region }) ->
+    Alcotest.(check string) "unknown region" "nvram" region
+  | _ -> Alcotest.fail "expected No_such_region")
 
 let frames_colored () =
   let fr, c = placement_fixture () in
@@ -222,7 +224,7 @@ let mapped_fixture ~mode =
   let d =
     match System.add_domain sys ~name:"app" ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes:(8 * Addr.page_size) () with
@@ -238,7 +240,7 @@ let mapped_fixture ~mode =
             System.bind_mapped d ~mode ~initial_frames:2 ~file ~qos s ()
           with
          | Ok (_, i) -> info := i
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          (* Read every page twice (two sweeps with 2 frames), then
             dirty every page, then read everything once more. *)
          for _ = 1 to 2 do
@@ -291,7 +293,7 @@ let stream_paging_single_txn () =
   let d =
     match System.add_domain sys ~name:"app" ~guarantee:12 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes:(16 * Addr.page_size) () with
@@ -308,7 +310,7 @@ let stream_paging_single_txn () =
                ~swap_bytes:(32 * Addr.page_size) ~qos s ()
            with
            | Ok x -> x
-           | Error e -> failwith e
+           | Error e -> failwith (System.error_message e)
          in
          (* Populate sequentially, sweep once to swap everything out,
             then read back sequentially: page-ins should batch. *)
@@ -424,7 +426,7 @@ let namespace_driver_factories () =
   let d =
     match System.add_domain sys ~name:"app" ~guarantee:4 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes:(2 * Addr.page_size) () with
@@ -434,7 +436,7 @@ let namespace_driver_factories () =
   (* Pick an implementation by name, then fault through it. *)
   (match System.bind_by_name d ~path:"drivers/physical" s with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (System.error_message e));
   let done_ = ref false in
   ignore
     (Domains.spawn_thread d.System.dom ~name:"touch" (fun () ->
@@ -470,7 +472,7 @@ let superpage_width_recorded () =
   let c =
     match Frames.admit fr ~domain:1 ~guarantee:16 ~optimistic:0 with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   match Frames.alloc_run fr c ~log2:2 with
   | None -> Alcotest.fail "no run"
@@ -500,7 +502,7 @@ let kill_mid_paging_releases_swap () =
   let d =
     match System.add_domain sys ~name:"victim" ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes:(16 * Addr.page_size) () with
@@ -517,7 +519,7 @@ let kill_mid_paging_releases_swap () =
               ~swap_bytes:(32 * Addr.page_size) ~qos s ()
           with
          | Ok _ -> ()
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          let rec loop () =
            for i = 0 to 15 do
              Domains.access d.System.dom (Stretch.page_base s i) `Write
@@ -553,7 +555,7 @@ let mapped_driver_relinquish () =
       System.add_domain sys ~name:"hog" ~guarantee:2 ~optimistic:80 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch hog ~bytes:(64 * Addr.page_size) () with
@@ -568,7 +570,7 @@ let mapped_driver_relinquish () =
               ~file ~qos s ()
           with
          | Ok _ -> ()
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          for i = 0 to 63 do
            Domains.access hog.System.dom (Stretch.page_base s i) `Write
          done));
@@ -580,7 +582,7 @@ let mapped_driver_relinquish () =
       System.add_domain sys ~name:"claimant" ~guarantee:60 ~optimistic:0 ()
     with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let got = ref 0 in
   ignore
@@ -602,7 +604,7 @@ let entry_multiple_workers_overlap () =
   let d =
     match System.add_domain sys ~name:"e" ~guarantee:2 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let inside = ref 0 and peak = ref 0 in
   let entry =
@@ -627,7 +629,7 @@ let free_stretch_reuses_address_space () =
   let d =
     match System.add_domain sys ~name:"app" ~guarantee:4 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let free0 = Stretch_allocator.free_bytes (System.stretch_allocator sys) in
   let s =
@@ -637,7 +639,7 @@ let free_stretch_reuses_address_space () =
   in
   (match System.bind_physical d ~prealloc:4 s with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   ignore
     (Domains.spawn_thread d.System.dom ~name:"touch" (fun () ->
          Domains.access d.System.dom s.Stretch.base `Write));

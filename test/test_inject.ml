@@ -263,7 +263,7 @@ let small_sys () =
 let add_domain_exn sys ~name ~guarantee ~optimistic =
   match System.add_domain sys ~name ~guarantee ~optimistic () with
   | Ok d -> d
-  | Error e -> failwith e
+  | Error e -> failwith (System.error_message e)
 
 let alloc_exn d ~bytes =
   match System.alloc_stretch d ~bytes () with
@@ -287,7 +287,7 @@ let bind_paged_exn d ~swap_pages s =
       ~swap_bytes:(swap_pages * Addr.page_size) ~qos:(plain_qos ()) s ()
   with
   | Ok (_, h) -> h
-  | Error e -> failwith e
+  | Error e -> failwith (System.error_message e)
 
 (* All eight bad bloks sit at the head of the extent: the driver must
    abandon each (re-blok) and walk on to healthy ones; no data is lost
@@ -375,7 +375,7 @@ let revocation_deadline_miss_kills () =
   let s = alloc_exn hog ~bytes:(32 * Addr.page_size) in
   (match System.bind_physical hog s with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (System.error_message e));
   ignore
     (Domains.spawn_thread hog.System.dom ~name:"hog" (fun () ->
          for i = 0 to 31 do
@@ -397,7 +397,7 @@ let revocation_deadline_miss_kills () =
         ~optimistic:0
     with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Frames.error_message e)
   in
   let got = ref 0 in
   Inject.arm

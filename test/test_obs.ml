@@ -208,7 +208,7 @@ let instrumented_paging_run () =
           System.add_domain sys ~name:"app" ~guarantee:8 ~optimistic:0 ()
         with
         | Ok d -> d
-        | Error e -> failwith e
+        | Error e -> failwith (System.error_message e)
       in
       let s =
         match System.alloc_stretch d ~bytes:(32 * Addr.page_size) () with
@@ -226,7 +226,7 @@ let instrumented_paging_run () =
                   ~swap_bytes:(64 * Addr.page_size) ~qos s ()
               with
              | Ok _ -> ()
-             | Error e -> failwith e);
+             | Error e -> failwith (System.error_message e));
              (* Two sweeps: populate (demand-zero), then revisit so the
                 early pages must come back from swap. *)
              for i = 0 to 31 do

@@ -429,7 +429,7 @@ let small_sys () =
 let add_domain_exn sys ~name ~guarantee ~optimistic =
   match System.add_domain sys ~name ~guarantee ~optimistic () with
   | Ok d -> d
-  | Error e -> failwith e
+  | Error e -> failwith (System.error_message e)
 
 let alloc_exn d ~bytes =
   match System.alloc_stretch d ~bytes () with
@@ -466,7 +466,7 @@ let default_policy_matches_seed_trace () =
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
           with
           | Ok x -> x
-          | Error e -> failwith e
+          | Error e -> failwith (System.error_message e)
         in
         for i = 0 to 5 do
           Domains.access d.System.dom (Stretch.page_base s i) `Write
@@ -535,7 +535,7 @@ let policies_never_evict_nailed () =
       in_domain sys nailed_d (fun () ->
           (match System.bind_nailed nailed_d ns with
           | Ok _ -> ()
-          | Error e -> failwith e);
+          | Error e -> failwith (System.error_message e));
           for i = 0 to 3 do
             Domains.access nailed_d.System.dom (Stretch.page_base ns i) `Write
           done);
@@ -549,7 +549,7 @@ let policies_never_evict_nailed () =
                ~swap_bytes:(32 * Addr.page_size) ~qos ps ()
            with
           | Ok _ -> ()
-          | Error e -> failwith e);
+          | Error e -> failwith (System.error_message e));
           for _ = 1 to 3 do
             for i = 0 to 7 do
               Domains.access paged_d.System.dom (Stretch.page_base ps i) `Write
@@ -587,7 +587,7 @@ let writeback_rescue_in_driver () =
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
           with
           | Ok x -> x
-          | Error e -> failwith e
+          | Error e -> failwith (System.error_message e)
         in
         (* Build a residency of one dirty page (0, rewritten after a
            round trip through swap) and one clean page (1, read back
@@ -633,7 +633,7 @@ let dontneed_flushes_writeback () =
               ~swap_bytes:(16 * Addr.page_size) ~qos s ()
           with
           | Ok x -> x
-          | Error e -> failwith e
+          | Error e -> failwith (System.error_message e)
         in
         for i = 0 to 3 do
           Domains.access d.System.dom (Stretch.page_base s i) `Write

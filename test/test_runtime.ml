@@ -10,7 +10,7 @@ let checkb = Alcotest.(check bool)
 let mk_domain sys name =
   match System.add_domain sys ~name ~guarantee:2 ~optimistic:0 () with
   | Ok d -> d
-  | Error e -> failwith e
+  | Error e -> failwith (System.error_message e)
 
 (* --- Ults --- *)
 

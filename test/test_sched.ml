@@ -85,6 +85,11 @@ let cpu_admit_exn cpu ~name ~period ~slice ?extra () =
   | Ok c -> c
   | Error e -> failwith e
 
+let consume_exn cpu c span =
+  match Cpu.consume cpu c span with
+  | Ok () -> ()
+  | Error `Removed -> failwith "consume_exn: client removed"
+
 let cpu_consume_advances_time () =
   let sim = Sim.create () in
   let cpu = Cpu.create sim in
@@ -92,7 +97,7 @@ let cpu_consume_advances_time () =
   let finished = ref Time.zero in
   ignore
     (Proc.spawn sim (fun () ->
-         Cpu.consume cpu c (Time.ms 2);
+         consume_exn cpu c (Time.ms 2);
          finished := Sim.now sim));
   Sim.run ~until:(Time.ms 100) sim;
   check "2ms of cpu took 2ms uncontended" (Time.ms 2) !finished;
@@ -109,7 +114,7 @@ let cpu_guarantees_respected () =
       ~extra:false () in
   let hungry client () =
     let rec loop () =
-      Cpu.consume cpu client (Time.us 500);
+      consume_exn cpu client (Time.us 500);
       loop ()
     in
     loop ()
@@ -134,7 +139,7 @@ let cpu_slack_when_idle () =
     (Proc.spawn sim (fun () ->
          (* 50 ms of work on a 10% guarantee: slack (nobody else wants
             the CPU) should let it finish in well under 500 ms. *)
-         Cpu.consume cpu a (Time.ms 50);
+         consume_exn cpu a (Time.ms 50);
          done_at := Sim.now sim));
   Sim.run ~until:(Time.sec 2) sim;
   checkb "finished early thanks to slack" true (!done_at < Time.ms 100);

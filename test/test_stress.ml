@@ -72,12 +72,12 @@ let frames_model =
       let a =
         match Frames.admit fr ~domain:1 ~guarantee:6 ~optimistic:6 with
         | Ok c -> c
-        | Error e -> failwith e
+        | Error e -> failwith (Frames.error_message e)
       in
       let b =
         match Frames.admit fr ~domain:2 ~guarantee:6 ~optimistic:6 with
         | Ok c -> c
-        | Error e -> failwith e
+        | Error e -> failwith (Frames.error_message e)
       in
       let held = [| []; [] |] in
       let ok = ref true in
@@ -138,7 +138,9 @@ let cpu_time_conserved () =
       ignore
         (Proc.spawn sim (fun () ->
              let rec loop () =
-               Sched.Cpu.consume cpu c (Time.us 700);
+               (match Sched.Cpu.consume cpu c (Time.us 700) with
+               | Ok () -> ()
+               | Error `Removed -> failwith "client removed");
                loop ()
              in
              loop ())))
@@ -201,7 +203,7 @@ let concurrent_faulting_threads () =
   let d =
     match System.add_domain sys ~name:"app" ~guarantee:4 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let s =
     match System.alloc_stretch d ~bytes:(16 * Addr.page_size) () with
@@ -217,7 +219,7 @@ let concurrent_faulting_threads () =
               ~swap_bytes:(32 * Addr.page_size) ~qos s ()
           with
          | Ok _ -> ()
-         | Error e -> failwith e);
+         | Error e -> failwith (System.error_message e));
          Sync.Ivar.fill bound ()));
   let finished = ref 0 in
   for t = 0 to 3 do
@@ -244,7 +246,7 @@ let paged_random_access () =
   let d =
     match System.add_domain sys ~name:"app" ~guarantee:3 ~optimistic:0 () with
     | Ok d -> d
-    | Error e -> failwith e
+    | Error e -> failwith (System.error_message e)
   in
   let npages = 32 in
   let s =
@@ -262,7 +264,7 @@ let paged_random_access () =
                ~swap_bytes:(2 * npages * Addr.page_size) ~qos s ()
            with
            | Ok x -> x
-           | Error e -> failwith e
+           | Error e -> failwith (System.error_message e)
          in
          let rng = Rng.create ~seed:99 in
          for _ = 1 to 300 do

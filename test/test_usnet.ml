@@ -9,6 +9,16 @@ let mk () =
   let sim = Sim.create () in
   (sim, Usnet.Link.create sim)
 
+let transmit_exn link c ~bytes =
+  match Usnet.Link.transmit link c ~bytes with
+  | Ok () -> ()
+  | Error `Retired -> failwith "transmit_exn: client retired"
+
+let send_exn link c ~bytes =
+  match Usnet.Link.send link c ~bytes with
+  | Ok iv -> iv
+  | Error `Retired -> failwith "send_exn: client retired"
+
 let admit_exn link ~name ~period ~slice ?extra () =
   match Usnet.Link.admit link ~name ~period ~slice ?extra () with
   | Ok c -> c
@@ -40,7 +50,7 @@ let link_single_sender () =
   ignore
     (Proc.spawn sim (fun () ->
          for _ = 1 to 20 do
-           Usnet.Link.transmit link c ~bytes:1000;
+           transmit_exn link c ~bytes:1000;
            incr sent
          done));
   Sim.run ~until:(Time.sec 1) sim;
@@ -55,7 +65,7 @@ let link_shares_follow_guarantees () =
   let b = admit_exn link ~name:"b" ~period:(Time.ms 10) ~slice:(Time.ms 2) () in
   let flood c () =
     let rec loop () =
-      ignore (Usnet.Link.send link c ~bytes:1514);
+      ignore (send_exn link c ~bytes:1514);
       Proc.yield ();
       loop ()
     in
@@ -78,7 +88,7 @@ let link_slack_for_x_clients () =
   in
   let flood () =
     let rec loop () =
-      ignore (Usnet.Link.send link a ~bytes:1514);
+      ignore (send_exn link a ~bytes:1514);
       Proc.yield ();
       loop ()
     in
@@ -108,7 +118,7 @@ let link_latency_under_guarantee () =
   ignore
     (Proc.spawn sim (fun () ->
          let rec loop () =
-           ignore (Usnet.Link.send link bulk ~bytes:1514);
+           ignore (send_exn link bulk ~bytes:1514);
            Proc.yield ();
            loop ()
          in
@@ -118,7 +128,7 @@ let link_latency_under_guarantee () =
     (Proc.spawn sim (fun () ->
          for _ = 1 to 200 do
            let t0 = Sim.now sim in
-           Usnet.Link.transmit link cm ~bytes:512;
+           transmit_exn link cm ~bytes:512;
            let dt = Time.diff (Sim.now sim) t0 in
            if dt > !worst then worst := dt;
            Proc.sleep (Time.ms 4)
