@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-scale smoke chaos crash scale fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-scale smoke chaos crash remote scale fmt check clean
 
 all: build
 
@@ -22,6 +22,12 @@ bench-chaos:
 # Regenerate the machine-readable crash-recovery verdict.
 bench-crash:
 	dune exec bench/main.exe -- crash
+
+# Regenerate the machine-readable remote-paging record: tiered
+# (RAM cache -> remote memory -> disk) vs disk-only backing, per
+# access pattern, fault-service latency and throughput side by side.
+bench-remote:
+	dune exec bench/main.exe -- remote
 
 # Regenerate the machine-readable scale-out record: frame-stack and
 # EDF pick-next micro-benches at 8/64/256 clients against the seed's
@@ -55,13 +61,20 @@ chaos:
 crash:
 	dune exec bin/nemesis_sim.exe -- crash-recover --rounds 2
 
+# Remote-paging run: a mixed tiered/disk-only fleet with link chaos in
+# the second half; zero bystander violations, balanced tier loss books
+# and a byte-identical same-seed rerun asserted (non-zero exit on
+# breach).
+remote:
+	dune exec bin/nemesis_sim.exe -- remote -d 20
+
 # Scale-out run: 128 self-paging domains under tight admission
 # control; zero QoS violations, balanced frame books and the typed
 # late-comer refusal asserted (non-zero exit on breach).
 scale:
 	dune exec bin/nemesis_sim.exe -- scale
 
-check: fmt build test smoke chaos crash scale
+check: fmt build test smoke chaos crash remote scale
 	@echo "check OK"
 
 clean:

@@ -333,6 +333,23 @@ let run_crash () =
     (fun () -> output_string oc (Experiments.Crash_recover.to_json r));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Part 5b: the remote-paging verdict ----------------------------- *)
+
+(* Tiered vs disk-only backing, per access pattern, fault-free: the
+   JSON record keeps throughput and fault-service latency side by
+   side, with the headline verdict that the disaggregated tier beats
+   the disk on the cacheable (hotspot) working set. *)
+let run_remote () =
+  let r = Experiments.Remote_page.bench ~duration:(Time.sec 30) () in
+  Experiments.Remote_page.bench_print r;
+  flush stdout;
+  let path = "BENCH_remote.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Experiments.Remote_page.bench_to_json r));
+  Printf.printf "wrote %s\n%!" path
+
 (* --- Part 6: the scale-out benches --------------------------------- *)
 
 (* The hot paths the many-domain work rebuilt, measured against the
@@ -514,6 +531,7 @@ let () =
   | [| _; "policy" |] -> run_policy ()
   | [| _; "chaos" |] -> run_chaos ()
   | [| _; "crash" |] -> run_crash ()
+  | [| _; "remote" |] -> run_remote ()
   | [| _; "scale" |] -> run_scale ()
   | _ ->
     run_bechamel ();
@@ -521,4 +539,5 @@ let () =
     run_policy ();
     run_chaos ();
     run_crash ();
+    run_remote ();
     run_scale ()

@@ -255,6 +255,33 @@ let chaos_cmd =
           victim, with two clean domains as the control group")
     Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
 
+let remote_cmd =
+  let seed =
+    let doc = "Simulation and fault-injection seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json =
+    let doc = "Also write the remote-paging verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run obs d seed json =
+    with_obs obs (fun () ->
+        let r = Remote_page.run ~seed ~duration:(sec d) () in
+        Remote_page.print r;
+        Option.iter (fun path -> write_file path (Remote_page.to_json r)) json;
+        if not (Remote_page.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "remote"
+       ~doc:
+         "Disaggregated memory: three tiered domains page through a \
+          RAM-cache/remote-memory/disk backing store over a shared \
+          guaranteed link while three disk-only bystanders run beside \
+          them; the second half drops and delays packets on that link \
+          and the verdict demands zero bystander violations, balanced \
+          tier loss books and a byte-identical same-seed rerun")
+    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
+
 let scale_cmd =
   let seed =
     let doc = "Simulation seed." in
@@ -335,7 +362,8 @@ let all_cmd =
           (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
         List.iter (run_ablation (min d 120)) ablation_names;
         Chaos.print (Chaos.run ~duration:(sec (min d 30)) ());
-        Crash_recover.print (Crash_recover.run ()))
+        Crash_recover.print (Crash_recover.run ());
+        Remote_page.print (Remote_page.run ~duration:(sec (min d 30)) ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
     Term.(const run $ obs_args $ duration_arg 240)
@@ -350,6 +378,6 @@ let main =
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
       policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd;
-      scale_cmd; all_cmd ]
+      remote_cmd; scale_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -47,6 +47,10 @@ type info = {
 type state = {
   env : Stretch_driver.env;
   swap : Usbs.Sfs.swapfile;
+  (* every data-path transaction goes through [backing]; the default
+     ([Tier.Backing.of_sfs swap]) is the swapfile itself, bit-for-bit.
+     [swap] stays for identity (journal reattach, extent scoping). *)
+  backing : Tier.Backing.t;
   forgetful : bool;
   spec : Policy.Spec.t;
   repl : Policy.Replacement.t;
@@ -131,11 +135,12 @@ let bind st (s : Stretch.t) =
   if st.stretch <> None then
     failwith "paged driver: already bound to a stretch";
   let npages = Stretch.npages s in
-  if Usbs.Sfs.page_capacity st.swap < npages then
+  if st.backing.Tier.Backing.page_capacity () < npages then
     failwith
       (Printf.sprintf
          "paged driver: swap too small (%d pages) for stretch (%d pages)"
-         (Usbs.Sfs.page_capacity st.swap) npages);
+         (st.backing.Tier.Backing.page_capacity ())
+         npages);
   st.stretch <- Some s;
   st.pages <- Array.make npages Fresh;
   st.blok_of_page <- Array.make npages (-1);
@@ -246,7 +251,7 @@ let blok_for st page =
       Some b
     | None -> None
   end
-  else if Usbs.Sfs.slot_committed st.swap b then begin
+  else if st.backing.Tier.Backing.slot_committed b then begin
     match fresh () with
     | Some b' ->
       Hashtbl.replace st.retiring page b;
@@ -304,14 +309,14 @@ let mark_lost st page =
    unrecoverable (the caller marks the page [Lost]). *)
 let write_now st ~page blok =
   st.env.Stretch_driver.assert_idc_allowed "USBS write";
-  let journaled = Usbs.Sfs.swap_journaled st.swap in
+  let journaled = st.backing.Tier.Backing.journaled () in
   let rec go blok =
     let sp = span_start st "usd.write" in
     let r =
       if journaled then
-        Usbs.Sfs.write_pages_commit st.swap ~page_index:blok ~npages:1
+        st.backing.Tier.Backing.write_pages_commit ~page_index:blok ~npages:1
           ~pages:[ (page, blok) ] ~retire:(retire_for st [ page ])
-      else Usbs.Sfs.write_page st.swap ~page_index:blok
+      else st.backing.Tier.Backing.write_page ~page_index:blok
     in
     span_finish sp;
     match r with
@@ -663,7 +668,7 @@ let fetch_extras st parent extras =
           incr txns;
           let sp = span_start st ?parent "usd.read" in
           let r =
-            Usbs.Sfs.read_pages st.swap
+            st.backing.Tier.Backing.read_pages
               ~page_index:st.blok_of_page.(first)
               ~npages:(List.length got)
           in
@@ -789,7 +794,9 @@ let full st (fault : Fault.t) =
                 then extras := p :: !extras)
             candidates;
           let sp = span_start st ?parent:fault.Fault.span "usd.read" in
-          let r = Usbs.Sfs.read_pages st.swap ~page_index:blok0 ~npages:!run in
+          let r =
+            st.backing.Tier.Backing.read_pages ~page_index:blok0 ~npages:!run
+          in
           span_finish sp;
           let lost_blok =
             match r with
@@ -983,16 +990,21 @@ let policy_name h = h.h_policy
 let swap_extent h = h.h_extent ()
 
 let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
-    ?(policy = Policy.Spec.default) ?(restore = []) ~swap env =
+    ?(policy = Policy.Spec.default) ?(restore = []) ?backing ~swap env =
   if readahead < 0 then invalid_arg "Sd_paged.create: negative readahead";
+  let backing =
+    match backing with Some b -> b | None -> Tier.Backing.of_sfs swap
+  in
   let spec = Policy.Spec.with_readahead policy readahead in
   let tick_ref = ref (fun () -> 0) in
   let st =
-    { env; swap; forgetful; spec;
+    { env; swap; backing; forgetful; spec;
       repl = Policy.Spec.make_replacement spec ~now:(fun () -> !tick_ref ());
       pf = Policy.Spec.make_prefetch spec;
       wb = Policy.Writeback.create ~write:(fun ~blok:_ ~nbloks:_ -> ()) ();
-      bitmap = Bloks.create ~nbloks:(max 1 (Usbs.Sfs.page_capacity swap));
+      bitmap =
+        Bloks.create
+          ~nbloks:(max 1 (backing.Tier.Backing.page_capacity ()));
       stretch = None; pages = [||]; blok_of_page = [||]; pool = [];
       tick = 0; page_ins = 0; page_outs = 0; demand_zeros = 0; evictions = 0;
       prefetched = 0; prefetch_hits = 0; prefetch_waste = 0; rescues = 0;
@@ -1005,16 +1017,18 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
     Policy.Writeback.create ~max_batch:spec.Policy.Spec.wb_batch
       ~write:(fun ~blok ~nbloks ->
         let sp = span_start st "usd.write" in
-        let journaled = Usbs.Sfs.swap_journaled st.swap in
+        let journaled = st.backing.Tier.Backing.journaled () in
         let run_pages =
           if journaled then pages_for_run st ~blok ~nbloks else []
         in
         let r =
           if journaled then
-            Usbs.Sfs.write_pages_commit st.swap ~page_index:blok ~npages:nbloks
-              ~pages:run_pages
+            st.backing.Tier.Backing.write_pages_commit ~page_index:blok
+              ~npages:nbloks ~pages:run_pages
               ~retire:(retire_for st (List.map fst run_pages))
-          else Usbs.Sfs.write_pages st.swap ~page_index:blok ~npages:nbloks
+          else
+            st.backing.Tier.Backing.write_pages ~page_index:blok
+              ~npages:nbloks
         in
         span_finish sp;
         (match r with
@@ -1072,10 +1086,17 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
     Error (Printf.sprintf "could not preallocate %d frames" !shortfall)
   else
     let pname = Policy.Spec.name spec in
+    (* Non-default backends show up in the driver name; the default
+       ("sfs") keeps every seed report byte-identical. *)
+    let bsuffix =
+      if backing.Tier.Backing.label = "sfs" then ""
+      else "@" ^ backing.Tier.Backing.label
+    in
     Ok
       ( { Stretch_driver.name =
-            (if forgetful then Printf.sprintf "paged(forgetful,%s)" pname
-             else Printf.sprintf "paged(%s)" pname);
+            (if forgetful then
+               Printf.sprintf "paged(forgetful,%s%s)" pname bsuffix
+             else Printf.sprintf "paged(%s%s)" pname bsuffix);
           bind = bind st;
           fast = fast st;
           full = full st;
@@ -1099,6 +1120,4 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
                 crashed = st.crashed });
           h_advise = advise_st st;
           h_policy = pname;
-          h_extent =
-            (fun () ->
-              (Usbs.Sfs.extent_start swap, Usbs.Sfs.extent_blocks swap)) } )
+          h_extent = (fun () -> backing.Tier.Backing.extent ()) } )

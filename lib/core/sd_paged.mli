@@ -108,12 +108,20 @@ val swap_extent : handle -> int * int
 val create :
   ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
   ?policy:Policy.Spec.t -> ?restore:(int * int) list ->
+  ?backing:Tier.Backing.t ->
   swap:Usbs.Sfs.swapfile -> Stretch_driver.env ->
   (Stretch_driver.t * handle, string) result
 (** [initial_frames] are allocated from the frames allocator up front
     (the paper's time-sensitive applications take all their guaranteed
     frames at initialisation). Fails if they cannot be obtained or the
     swap file is too small for the stretch once bound.
+
+    [backing] routes every data-path transaction (page-ins, page-outs,
+    committing flushes) through an alternative backing store — e.g.
+    {!Tier.Store.backing} for the RAM-cache → remote-memory → disk
+    tier. The default, {!Tier.Backing.of_sfs}[ swap], is the swapfile
+    itself and reproduces the seed behaviour bit-for-bit. Non-default
+    backends are named in the driver name ([paged(fifo@tier)]).
 
     [restore] is the committed [(stretch page, slot)] image recovered
     from the backing store's journal (see {!Usbs.Sfs.reattach_swap}):

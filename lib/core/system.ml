@@ -293,7 +293,7 @@ let bind_mapped d ~mode ?initial_frames ~file ~qos s () =
         Ok (driver, info)))
 
 let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
-    ?(restartable = false) ~swap_bytes ~qos s () =
+    ?(restartable = false) ?backing ~swap_bytes ~qos s () =
   let swap_name = Domains.name d.dom ^ ".swap" in
   match
     Usbs.Sfs.open_swap d.sys.the_sfs ~name:swap_name ~bytes:swap_bytes ~qos
@@ -301,9 +301,12 @@ let bind_paged d ?forgetful ?initial_frames ?readahead ?policy ?spare_pages
   with
   | Error e -> Error (Swap_open { name = swap_name; error = e })
   | Ok swap ->
+    (* [backing] sees the just-opened swapfile so it can layer a tiered
+       store over it; the swapfile's lifecycle stays System's. *)
+    let backing = Option.map (fun f -> f swap) backing in
     (match
-       Sd_paged.create ?forgetful ?initial_frames ?readahead ?policy ~swap
-         d.env
+       Sd_paged.create ?forgetful ?initial_frames ?readahead ?policy ?backing
+         ~swap d.env
      with
     | Error reason ->
       Usbs.Sfs.close_swap d.sys.the_sfs swap;

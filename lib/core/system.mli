@@ -159,6 +159,7 @@ val bind_physical :
 val bind_paged :
   domain -> ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
   ?policy:Policy.Spec.t -> ?spare_pages:int -> ?restartable:bool ->
+  ?backing:(Usbs.Sfs.swapfile -> Tier.Backing.t) ->
   swap_bytes:int -> qos:Usbs.Qos.t -> Stretch.t -> unit ->
   (Stretch_driver.t * Sd_paged.handle, error) result
 (** Opens a swap file on the SFS (negotiating the disk QoS), creates a
@@ -167,7 +168,13 @@ val bind_paged :
     spares in the swap extent (see {!Usbs.Sfs.open_swap}).
     [restartable] (default false) makes the swapfile survive the
     domain's death {e detached} instead of closed, so a {!respawn}ed
-    incarnation can {!bind_paged_restored}. *)
+    incarnation can {!bind_paged_restored}.
+
+    [backing] is applied to the freshly opened swapfile and the
+    resulting {!Tier.Backing.t} carries the driver's data path — pass
+    [(fun swap -> Tier.Store.backing (Tier.Store.create … ~swap ()))]
+    to page through the disaggregated-memory tier. The swapfile itself
+    remains System-owned (closed or detached on domain death). *)
 
 val bind_paged_restored :
   domain -> ?initial_frames:int -> ?readahead:int ->

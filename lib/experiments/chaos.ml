@@ -84,6 +84,7 @@ let plan_for ~seed ~first ~nblocks =
           { Inject.cf_drop = 0.05;
             cf_delay = 0.05;
             cf_delay_span = Time.of_ms_float 2.0 } ) ];
+    links = [];
     pressure =
       Some { Inject.pr_period = Time.ms 500; pr_hold = Time.ms 150 } }
 

@@ -49,6 +49,12 @@ type result = {
   audit : Obs.Qos_audit.summary;
 }
 
+val violations_for : names:string list -> ids:int list -> int
+(** QoS-audit violations attributable to a domain, by name (CPU/USD
+    feeds label streams ["name"] / ["name.swap"]) or by domain id
+    (frame-side feeds). Shared with the other chaos-style experiments
+    ({!Remote_page}). *)
+
 val run : ?seed:int -> ?duration:Time.span -> unit -> result
 (** Enables {!Obs}, resets collectors, arms the injection plan derived
     from [seed] and runs for [duration] (default 30 s) plus a 2 s

@@ -134,6 +134,7 @@ let crash_plan ~seed ~after ~first ~len =
           cp_len = len } ];
     stalls = [];
     chans = [];
+    links = [];
     pressure = None }
 
 let run_for sys span =

@@ -20,7 +20,7 @@ let run_shares ?(duration = Time.sec 30) () =
               ~slice:(Time.ms slice_ms) ()
           with
           | Ok c -> c
-          | Error e -> failwith e
+          | Error e -> failwith (Usnet.Link.admit_error_message e)
         in
         (* Flat out: keep the transmit ring full. *)
         ignore
@@ -134,7 +134,7 @@ let run_nemesis ~duration =
         ~slice:(Time.ms 2) ()
     with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Usnet.Link.admit_error_message e)
   in
   ignore (start_heavy_pager sys);
   let stats = Stats.create ~keep_samples:true () in
@@ -175,7 +175,7 @@ let run_shared ~duration =
         ~slice:(Time.ms 2) ()
     with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Usnet.Link.admit_error_message e)
   in
   let jobs = Sync.Mailbox.create () in
   ignore

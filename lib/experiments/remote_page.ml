@@ -1,0 +1,462 @@
+open Engine
+open Core
+
+type domain_report = {
+  dr_name : string;
+  dr_pattern : string;
+  dr_tiered : bool;
+  dr_mbit : float;
+  dr_accesses : int;
+  dr_fault_mean_us : float;
+  dr_fault_p95_us : float;
+  dr_violations : int;
+}
+
+type result = {
+  seed : int;
+  duration : Time.span;
+  domains : domain_report list;
+  tier : Tier.Store.stats;
+  books_balanced : bool;
+  remote_used : int;
+  remote_capacity : int;
+  link_drops : int;
+  link_delays : int;
+  link_utilisation : float;
+  bystander_violations : int;
+  tiered_violations : int;
+  deterministic : bool;
+  audit : Obs.Qos_audit.summary;
+}
+
+let patterns =
+  [ ("seq", Workload.Paging_app.Sequential);
+    ("rand", Workload.Paging_app.Random);
+    ("hot", Workload.Paging_app.Hotspot) ]
+
+let zero_stats =
+  { Tier.Store.cache_hits = 0; remote_hits = 0; remote_misses = 0;
+    promotes = 0; demotes = 0; remote_fulls = 0; drops_seen = 0;
+    delays_seen = 0; retransmits = 0; drop_losses = 0; transfer_fails = 0;
+    clean_aborts = 0; disk_fallbacks = 0; link_lost_slots = 0;
+    lost_slots = 0 }
+
+let add_stats a b =
+  { Tier.Store.cache_hits = a.Tier.Store.cache_hits + b.Tier.Store.cache_hits;
+    remote_hits = a.Tier.Store.remote_hits + b.Tier.Store.remote_hits;
+    remote_misses = a.Tier.Store.remote_misses + b.Tier.Store.remote_misses;
+    promotes = a.Tier.Store.promotes + b.Tier.Store.promotes;
+    demotes = a.Tier.Store.demotes + b.Tier.Store.demotes;
+    remote_fulls = a.Tier.Store.remote_fulls + b.Tier.Store.remote_fulls;
+    drops_seen = a.Tier.Store.drops_seen + b.Tier.Store.drops_seen;
+    delays_seen = a.Tier.Store.delays_seen + b.Tier.Store.delays_seen;
+    retransmits = a.Tier.Store.retransmits + b.Tier.Store.retransmits;
+    drop_losses = a.Tier.Store.drop_losses + b.Tier.Store.drop_losses;
+    transfer_fails = a.Tier.Store.transfer_fails + b.Tier.Store.transfer_fails;
+    clean_aborts = a.Tier.Store.clean_aborts + b.Tier.Store.clean_aborts;
+    disk_fallbacks = a.Tier.Store.disk_fallbacks + b.Tier.Store.disk_fallbacks;
+    link_lost_slots =
+      a.Tier.Store.link_lost_slots + b.Tier.Store.link_lost_slots;
+    lost_slots = a.Tier.Store.lost_slots + b.Tier.Store.lost_slots }
+
+let fault_hist name =
+  match Obs.Metrics.hist_view ~label:name "fault.latency_us" with
+  | Some v -> (v.Obs.Metrics.hv_mean, Obs.Metrics.hist_quantile v 0.95)
+  | None -> (nan, nan)
+
+let start_app sys ~name ~pattern ?backing () =
+  (* six apps share the disk: 6 x 35/250 = 0.84 leaves admission room *)
+  let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 35) () in
+  match
+    Workload.Paging_app.start sys ~name ~mode:Workload.Paging_app.Paging_in
+      ~qos ~vm_bytes:(1024 * 1024) ~phys_frames:8
+      ~swap_bytes:(4 * 1024 * 1024) ?backing ~pattern ()
+  with
+  | Ok a -> a
+  | Error e -> failwith (Printf.sprintf "remote: %s: %s" name e)
+
+(* The link chaos plan: second-half packet loss and delay on the
+   tier's link, nothing else — the disk stays clean so any bystander
+   wobble could only have come through the network side. *)
+let plan_for ~seed =
+  { Inject.default_plan with
+    seed;
+    links =
+      [ ( "tier0",
+          { Inject.lf_drop = 0.06;
+            lf_delay = 0.05;
+            lf_delay_span = Time.of_ms_float 2.0 } ) ] }
+
+let remote_capacity = 160
+
+let run_once ~seed ~duration =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Inject.disarm ();
+  let config = { System.default_config with seed; main_memory_mb = 2 } in
+  let sys = System.create ~config () in
+  let link =
+    Usnet.Link.create ~name:"tier0" ~params:Usnet.Net_params.fast_ethernet
+      (System.sim sys)
+  in
+  let remote = Tier.Remote_node.create ~capacity_pages:remote_capacity () in
+  let stores = ref [] in
+  let disk_apps =
+    List.map
+      (fun (pat, pattern) ->
+        let name = "disk_" ^ pat in
+        (name, pat, false, start_app sys ~name ~pattern ()))
+      patterns
+  in
+  let tier_apps =
+    List.map
+      (fun (pat, pattern) ->
+        let name = "tier_" ^ pat in
+        let client =
+          match
+            Usnet.Link.admit link ~name:(name ^ ".tier") ~period:(Time.ms 20)
+              ~slice:(Time.ms 5) ~extra:true ~laxity:(Time.of_ms_float 2.0) ()
+          with
+          | Ok c -> c
+          | Error e ->
+            failwith ("remote: " ^ Usnet.Link.admit_error_message e)
+        in
+        let backing swap =
+          let store =
+            Tier.Store.create ~cache_pages:24 ~link ~client ~remote ~swap
+              ~label:"tier" ()
+          in
+          stores := store :: !stores;
+          Tier.Store.backing store
+        in
+        (name, pat, true, start_app sys ~name ~pattern ~backing ()))
+      patterns
+  in
+  let apps = disk_apps @ tier_apps in
+  (* Clean first half, then chaos on the link, then a quiet drain so
+     in-flight retransmissions settle before the books are read. *)
+  let half = Time.ns (Time.to_ns duration / 2) in
+  System.run ~until:half sys;
+  Inject.arm (plan_for ~seed);
+  System.run ~until:duration sys;
+  Inject.disarm ();
+  System.run ~until:(Time.add duration (Time.sec 2)) sys;
+  let viol name app =
+    Chaos.violations_for ~names:[ name ]
+      ~ids:[ Domains.id (Workload.Paging_app.domain app).System.dom ]
+  in
+  let reports =
+    List.map
+      (fun (name, pat, tiered, app) ->
+        let mean, p95 = fault_hist name in
+        { dr_name = name;
+          dr_pattern = pat;
+          dr_tiered = tiered;
+          dr_mbit = Workload.Paging_app.sustained_mbit app;
+          dr_accesses = Workload.Paging_app.measured_accesses app;
+          dr_fault_mean_us = mean;
+          dr_fault_p95_us = p95;
+          dr_violations = viol name app })
+      apps
+  in
+  let bystanders, tiered =
+    List.partition (fun r -> not r.dr_tiered) reports
+  in
+  let tally = Inject.tally () in
+  { seed;
+    duration;
+    domains = reports;
+    tier =
+      List.fold_left
+        (fun acc s -> add_stats acc (Tier.Store.stats s))
+        zero_stats !stores;
+    books_balanced = List.for_all Tier.Store.books_balanced !stores;
+    remote_used = Tier.Remote_node.used_pages remote;
+    remote_capacity;
+    link_drops = tally.Inject.link_drops;
+    link_delays = tally.Inject.link_delays;
+    link_utilisation = Usnet.Link.utilisation link;
+    bystander_violations =
+      List.fold_left (fun n r -> n + r.dr_violations) 0 bystanders;
+    tiered_violations =
+      List.fold_left (fun n r -> n + r.dr_violations) 0 tiered;
+    deterministic = true;
+    audit = Obs.Qos_audit.summarize () }
+
+let mbit_s f = if Float.is_nan f then "warming" else Report.f2 f
+let us f = if Float.is_nan f then "-" else Printf.sprintf "%.0f" f
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.duration));
+  let dom d =
+    Printf.sprintf
+      "{\"name\": %S, \"pattern\": %S, \"tiered\": %b, \"mbit_s\": %s, \
+       \"accesses\": %d, \"fault_mean_us\": %s, \"fault_p95_us\": %s, \
+       \"violations\": %d}"
+      d.dr_name d.dr_pattern d.dr_tiered
+      (if Float.is_nan d.dr_mbit then "null"
+       else Printf.sprintf "%.3f" d.dr_mbit)
+      d.dr_accesses
+      (if Float.is_nan d.dr_fault_mean_us then "null"
+       else Printf.sprintf "%.1f" d.dr_fault_mean_us)
+      (if Float.is_nan d.dr_fault_p95_us then "null"
+       else Printf.sprintf "%.1f" d.dr_fault_p95_us)
+      d.dr_violations
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"domains\": [%s],\n"
+       (String.concat ", " (List.map dom r.domains)));
+  let t = r.tier in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"tier\": {\"cache_hits\": %d, \"remote_hits\": %d, \
+        \"remote_misses\": %d, \"promotes\": %d, \"demotes\": %d, \
+        \"remote_fulls\": %d, \"drops_seen\": %d, \"delays_seen\": %d, \
+        \"retransmits\": %d, \"drop_losses\": %d, \"transfer_fails\": %d, \
+        \"clean_aborts\": %d, \"disk_fallbacks\": %d, \"link_lost_slots\": \
+        %d, \"lost_slots\": %d},\n"
+       t.Tier.Store.cache_hits t.Tier.Store.remote_hits
+       t.Tier.Store.remote_misses t.Tier.Store.promotes t.Tier.Store.demotes
+       t.Tier.Store.remote_fulls t.Tier.Store.drops_seen
+       t.Tier.Store.delays_seen t.Tier.Store.retransmits
+       t.Tier.Store.drop_losses t.Tier.Store.transfer_fails
+       t.Tier.Store.clean_aborts t.Tier.Store.disk_fallbacks
+       t.Tier.Store.link_lost_slots t.Tier.Store.lost_slots);
+  Buffer.add_string b
+    (Printf.sprintf "  \"books_balanced\": %b,\n" r.books_balanced);
+  Buffer.add_string b
+    (Printf.sprintf "  \"remote\": {\"used\": %d, \"capacity\": %d},\n"
+       r.remote_used r.remote_capacity);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"link\": {\"drops\": %d, \"delays\": %d, \"utilisation\": %.3f},\n"
+       r.link_drops r.link_delays r.link_utilisation);
+  Buffer.add_string b
+    (Printf.sprintf "  \"bystander_violations\": %d,\n"
+       r.bystander_violations);
+  Buffer.add_string b
+    (Printf.sprintf "  \"tiered_violations\": %d,\n" r.tiered_violations);
+  Buffer.add_string b
+    (Printf.sprintf "  \"deterministic\": %b\n" r.deterministic);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* Same-seed reproducibility is part of the verdict: the whole fleet —
+   link chaos included — runs twice and the canonical reports must
+   match byte-for-byte. *)
+let run ?(seed = 42) ?(duration = Time.sec 30) () =
+  let r1 = run_once ~seed ~duration in
+  let r2 = run_once ~seed ~duration in
+  let canon r = to_json { r with deterministic = true } in
+  { r1 with deterministic = canon r1 = canon r2 }
+
+let ok r =
+  r.bystander_violations = 0 && r.books_balanced && r.link_drops > 0
+  && r.tier.Tier.Store.remote_hits > 0
+  && r.tier.Tier.Store.demotes > 0
+  && r.deterministic
+
+let print r =
+  Report.heading "Remote paging: a memory tier across the network";
+  Printf.printf
+    "seed %d, %.0f s (link chaos in the second half) + 2 s drain\n\n" r.seed
+    (Time.to_sec r.duration);
+  Report.table
+    ~header:
+      [ "domain"; "pattern"; "backing"; "Mbit/s"; "accesses"; "fault us";
+        "p95 us"; "violations" ]
+    (List.map
+       (fun d ->
+         [ d.dr_name; d.dr_pattern; (if d.dr_tiered then "tier" else "disk");
+           mbit_s d.dr_mbit; string_of_int d.dr_accesses;
+           us d.dr_fault_mean_us; us d.dr_fault_p95_us;
+           string_of_int d.dr_violations ])
+       r.domains);
+  print_newline ();
+  let t = r.tier in
+  Printf.printf
+    "tier: %d cache hits, %d remote hits, %d remote misses, %d demotes, %d \
+     promotes, %d remote-full degrades\n"
+    t.Tier.Store.cache_hits t.Tier.Store.remote_hits
+    t.Tier.Store.remote_misses t.Tier.Store.demotes t.Tier.Store.promotes
+    t.Tier.Store.remote_fulls;
+  Printf.printf
+    "link: %d drops = %d retransmits + %d losses; %d failed transfers = %d \
+     clean + %d disk fallbacks + %d lost slots (%s)\n"
+    t.Tier.Store.drops_seen t.Tier.Store.retransmits
+    t.Tier.Store.drop_losses t.Tier.Store.transfer_fails
+    t.Tier.Store.clean_aborts t.Tier.Store.disk_fallbacks
+    t.Tier.Store.link_lost_slots
+    (if r.books_balanced then "books balance" else "UNBALANCED BOOKS");
+  Printf.printf "remote node: %d/%d pages; link utilisation %.2f\n"
+    r.remote_used r.remote_capacity r.link_utilisation;
+  Printf.printf "same-seed rerun: %s\n\n"
+    (if r.deterministic then "byte-identical" else "DIVERGED");
+  Report.audit_section "Remote-paging QoS audit" (Some r.audit);
+  Printf.printf "bystander (disk-only) violations: %d\n"
+    r.bystander_violations;
+  print_endline
+    (if ok r then
+       "VERDICT: ok — bystanders unperturbed, tier books balance, chaos \
+        reproducible"
+     else "VERDICT: FAILED")
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark: tiered vs disk-only, per pattern, fault-free.            *)
+
+type bench_cell = {
+  bc_pattern : string;
+  bc_tiered : bool;
+  bc_mbit : float;
+  bc_accesses : int;
+  bc_fault_mean_us : float;
+  bc_fault_p95_us : float;
+  bc_cache_hits : int;
+  bc_remote_hits : int;
+  bc_remote_misses : int;
+}
+
+type bench_result = {
+  b_seed : int;
+  b_duration : Time.span;
+  b_cells : bench_cell list;
+  b_hot_speedup : float;
+  b_hot_tiered_beats_disk : bool;
+}
+
+let bench_cell ~seed ~duration ~pat ~pattern ~tiered =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Inject.disarm ();
+  let config = { System.default_config with seed; main_memory_mb = 2 } in
+  let sys = System.create ~config () in
+  let store = ref None in
+  let backing =
+    if not tiered then None
+    else begin
+      let link =
+        Usnet.Link.create ~name:"bench0"
+          ~params:Usnet.Net_params.fast_ethernet (System.sim sys)
+      in
+      let client =
+        match
+          Usnet.Link.admit link ~name:"bench.tier" ~period:(Time.ms 20)
+            ~slice:(Time.ms 5) ~extra:true ~laxity:(Time.of_ms_float 2.0) ()
+        with
+        | Ok c -> c
+        | Error e -> failwith ("remote: " ^ Usnet.Link.admit_error_message e)
+      in
+      let remote = Tier.Remote_node.create ~capacity_pages:128 () in
+      Some
+        (fun swap ->
+          let s =
+            Tier.Store.create ~cache_pages:24 ~link ~client ~remote ~swap
+              ~label:"tier" ()
+          in
+          store := Some s;
+          Tier.Store.backing s)
+    end
+  in
+  let name = "bench" in
+  let app = start_app sys ~name ~pattern ?backing () in
+  System.run ~until:duration sys;
+  let mean, p95 = fault_hist name in
+  let stats =
+    match !store with Some s -> Tier.Store.stats s | None -> zero_stats
+  in
+  { bc_pattern = pat;
+    bc_tiered = tiered;
+    bc_mbit = Workload.Paging_app.sustained_mbit app;
+    bc_accesses = Workload.Paging_app.measured_accesses app;
+    bc_fault_mean_us = mean;
+    bc_fault_p95_us = p95;
+    bc_cache_hits = stats.Tier.Store.cache_hits;
+    bc_remote_hits = stats.Tier.Store.remote_hits;
+    bc_remote_misses = stats.Tier.Store.remote_misses }
+
+let bench ?(seed = 42) ?(duration = Time.sec 30) () =
+  let cells =
+    List.concat_map
+      (fun (pat, pattern) ->
+        [ bench_cell ~seed ~duration ~pat ~pattern ~tiered:false;
+          bench_cell ~seed ~duration ~pat ~pattern ~tiered:true ])
+      patterns
+  in
+  let find p tiered =
+    List.find (fun c -> c.bc_pattern = p && c.bc_tiered = tiered) cells
+  in
+  let hot_disk = find "hot" false and hot_tier = find "hot" true in
+  let speedup =
+    if
+      Float.is_nan hot_disk.bc_fault_mean_us
+      || Float.is_nan hot_tier.bc_fault_mean_us
+      || hot_tier.bc_fault_mean_us <= 0.
+    then nan
+    else hot_disk.bc_fault_mean_us /. hot_tier.bc_fault_mean_us
+  in
+  { b_seed = seed;
+    b_duration = duration;
+    b_cells = cells;
+    b_hot_speedup = speedup;
+    b_hot_tiered_beats_disk = (not (Float.is_nan speedup)) && speedup > 1. }
+
+let bench_print r =
+  Report.heading "Remote paging benchmark: tiered vs disk-only";
+  Printf.printf "seed %d, %.0f s per cell, fault-free\n\n" r.b_seed
+    (Time.to_sec r.b_duration);
+  Report.table
+    ~header:
+      [ "pattern"; "backing"; "Mbit/s"; "accesses"; "fault us"; "p95 us";
+        "cache/remote/disk" ]
+    (List.map
+       (fun c ->
+         [ c.bc_pattern; (if c.bc_tiered then "tier" else "disk");
+           mbit_s c.bc_mbit; string_of_int c.bc_accesses;
+           us c.bc_fault_mean_us; us c.bc_fault_p95_us;
+           Printf.sprintf "%d/%d/%d" c.bc_cache_hits c.bc_remote_hits
+             c.bc_remote_misses ])
+       r.b_cells);
+  print_newline ();
+  Printf.printf "hotspot fault-latency speedup (disk/tier): %s — tiered %s\n"
+    (if Float.is_nan r.b_hot_speedup then "-"
+     else Printf.sprintf "%.2fx" r.b_hot_speedup)
+    (if r.b_hot_tiered_beats_disk then "beats disk-only"
+     else "does NOT beat disk-only")
+
+let bench_to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.b_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.b_duration));
+  let cell c =
+    Printf.sprintf
+      "{\"pattern\": %S, \"tiered\": %b, \"mbit_s\": %s, \"accesses\": %d, \
+       \"fault_mean_us\": %s, \"fault_p95_us\": %s, \"cache_hits\": %d, \
+       \"remote_hits\": %d, \"remote_misses\": %d}"
+      c.bc_pattern c.bc_tiered
+      (if Float.is_nan c.bc_mbit then "null"
+       else Printf.sprintf "%.3f" c.bc_mbit)
+      c.bc_accesses
+      (if Float.is_nan c.bc_fault_mean_us then "null"
+       else Printf.sprintf "%.1f" c.bc_fault_mean_us)
+      (if Float.is_nan c.bc_fault_p95_us then "null"
+       else Printf.sprintf "%.1f" c.bc_fault_p95_us)
+      c.bc_cache_hits c.bc_remote_hits c.bc_remote_misses
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"cells\": [%s],\n"
+       (String.concat ", " (List.map cell r.b_cells)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"hot_speedup\": %s,\n"
+       (if Float.is_nan r.b_hot_speedup then "null"
+        else Printf.sprintf "%.3f" r.b_hot_speedup));
+  Buffer.add_string b
+    (Printf.sprintf "  \"hot_tiered_beats_disk\": %b\n"
+       r.b_hot_tiered_beats_disk);
+  Buffer.add_string b "}";
+  Buffer.contents b

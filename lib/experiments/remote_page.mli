@@ -1,0 +1,80 @@
+(** Remote paging: a disaggregated memory tier under QoS and link chaos.
+
+    A mixed fleet pages over the same disk: three disk-only domains
+    and three tiered domains (local RAM cache → remote memory node →
+    disk), one of each per access pattern (sequential, random,
+    hotspot). The tiered domains' page transfers ride a shared
+    {!Usnet.Link} under per-domain [(p, s, x, l)] guarantees; halfway
+    through, a seeded fault plan starts dropping and delaying packets
+    on that link.
+
+    The experiment passes when the chaos stays bought-and-paid-for:
+    the disk-only bystanders see zero QoS violations, every tier
+    store's double-entry loss books balance, drops were actually
+    injected, the tiered domains survive on the disk fallback, and a
+    second same-seed run reproduces the report byte-for-byte. *)
+
+open Engine
+
+type domain_report = {
+  dr_name : string;
+  dr_pattern : string;
+  dr_tiered : bool;
+  dr_mbit : float;
+  dr_accesses : int;
+  dr_fault_mean_us : float;  (** mean fault-service latency, [nan] if none *)
+  dr_fault_p95_us : float;
+  dr_violations : int;
+}
+
+type result = {
+  seed : int;
+  duration : Time.span;
+  domains : domain_report list;
+  tier : Tier.Store.stats;  (** summed over the three tiered stores *)
+  books_balanced : bool;
+  remote_used : int;
+  remote_capacity : int;
+  link_drops : int;
+  link_delays : int;
+  link_utilisation : float;
+  bystander_violations : int;  (** disk-only domains; must be 0 *)
+  tiered_violations : int;
+  deterministic : bool;  (** second same-seed run matched byte-for-byte *)
+  audit : Obs.Qos_audit.summary;
+}
+
+val run : ?seed:int -> ?duration:Time.span -> unit -> result
+val ok : result -> bool
+val print : result -> unit
+val to_json : result -> string
+
+(** One (pattern, backend) cell of the remote-paging benchmark. *)
+type bench_cell = {
+  bc_pattern : string;
+  bc_tiered : bool;
+  bc_mbit : float;
+  bc_accesses : int;
+  bc_fault_mean_us : float;
+  bc_fault_p95_us : float;
+  bc_cache_hits : int;
+  bc_remote_hits : int;
+  bc_remote_misses : int;
+}
+
+type bench_result = {
+  b_seed : int;
+  b_duration : Time.span;
+  b_cells : bench_cell list;
+  b_hot_speedup : float;
+      (** disk-only mean fault latency over tiered, hotspot pattern *)
+  b_hot_tiered_beats_disk : bool;
+}
+
+val bench : ?seed:int -> ?duration:Time.span -> unit -> bench_result
+(** Fault-free measurement: each pattern runs twice in its own fresh
+    system — disk-only, then tiered — and reports throughput and
+    fault-service latency side by side. *)
+
+val bench_print : bench_result -> unit
+val bench_to_json : bench_result -> string

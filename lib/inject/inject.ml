@@ -26,6 +26,12 @@ type chan_fault = {
   cf_delay_span : Time.span;
 }
 
+type link_fault = {
+  lf_drop : float;
+  lf_delay : float;
+  lf_delay_span : Time.span;
+}
+
 type pressure = { pr_period : Time.span; pr_hold : Time.span }
 
 type crash_point = {
@@ -41,6 +47,7 @@ type plan = {
   regions : region_fault list;
   stalls : (string * stall) list;
   chans : (string * chan_fault) list;
+  links : (string * link_fault) list;
   pressure : pressure option;
   crashes : crash_point list;
 }
@@ -52,6 +59,7 @@ let default_plan =
     regions = [];
     stalls = [];
     chans = [];
+    links = [];
     pressure = None;
     crashes = [];
   }
@@ -74,6 +82,8 @@ type tally = {
   stalls_injected : int;
   chan_drops : int;
   chan_delays : int;
+  link_drops : int;
+  link_delays : int;
   pressure_bursts : int;
   crashes : int;
   retried : int;
@@ -89,6 +99,8 @@ let zero_tally =
     stalls_injected = 0;
     chan_drops = 0;
     chan_delays = 0;
+    link_drops = 0;
+    link_delays = 0;
     pressure_bursts = 0;
     crashes = 0;
     retried = 0;
@@ -241,6 +253,32 @@ let chan ~name =
           bump_class ("chan.delay." ^ name);
           metric "chan_delays";
           Delay cf.cf_delay_span
+        end
+        else Deliver
+
+(* Per-packet consultation by the network-link instrumentation: the
+   named link drops or delays the packet per the plan. Drops model a
+   lossy wire — the transmit completes locally but the receiver never
+   sees the payload, so the tier layer retransmits or falls back;
+   they need no recovery accounting of their own (the tier's books
+   are checked separately by the remote experiment). *)
+let link ~name =
+  if not !enabled then Deliver
+  else
+    match List.assoc_opt name !the_plan.links with
+    | None -> Deliver
+    | Some lf ->
+        if chance lf.lf_drop then begin
+          counts := { !counts with link_drops = !counts.link_drops + 1 };
+          bump_class ("link.drop." ^ name);
+          metric "link_drops";
+          Drop
+        end
+        else if chance lf.lf_delay then begin
+          counts := { !counts with link_delays = !counts.link_delays + 1 };
+          bump_class ("link.delay." ^ name);
+          metric "link_delays";
+          Delay lf.lf_delay_span
         end
         else Deliver
 

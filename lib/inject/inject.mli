@@ -64,6 +64,12 @@ type chan_fault = {
   cf_delay_span : Time.span;
 }
 
+type link_fault = {
+  lf_drop : float;  (** probability a packet is dropped on the wire *)
+  lf_delay : float;  (** probability it is delayed instead *)
+  lf_delay_span : Time.span;
+}
+
 type pressure = {
   pr_period : Time.span;  (** time between allocation bursts *)
   pr_hold : Time.span;  (** how long a burst holds its frames *)
@@ -89,6 +95,7 @@ type plan = {
   regions : region_fault list;
   stalls : (string * stall) list;  (** keyed by USD client / site name *)
   chans : (string * chan_fault) list;  (** keyed by event-channel name *)
+  links : (string * link_fault) list;  (** keyed by network-link name *)
   pressure : pressure option;  (** consumed by the chaos gremlin *)
   crashes : crash_point list;
 }
@@ -129,6 +136,14 @@ type chan_outcome = Deliver | Drop | Delay of Time.span
 
 val chan : name:string -> chan_outcome
 
+val link : name:string -> chan_outcome
+(** Consulted once per packet by instrumented senders on the named
+    network link ({!Usnet.Link.name}): [Drop] means the wire lost the
+    packet (the sender must retransmit or fall back), [Delay] that it
+    arrives late. Tallied separately from media errors — link faults
+    are answered by the tier layer's own books, not the
+    {!accounted} equation. *)
+
 val pressure : unit -> pressure option
 
 val crash_write :
@@ -160,6 +175,8 @@ type tally = {
   stalls_injected : int;
   chan_drops : int;
   chan_delays : int;
+  link_drops : int;  (** packets lost on an injected lossy link *)
+  link_delays : int;
   pressure_bursts : int;
   crashes : int;  (** crash points fired (torn writes) *)
   retried : int;

@@ -1,0 +1,30 @@
+open Engine
+
+type t = {
+  capacity_pages : int;
+  service : Time.span;
+  table : (string * int, unit) Hashtbl.t;
+}
+
+let create ?(service = Time.us 25) ~capacity_pages () =
+  if capacity_pages < 0 then
+    invalid_arg "Remote_node.create: negative capacity";
+  if service < 0 then invalid_arg "Remote_node.create: negative service time";
+  { capacity_pages; service; table = Hashtbl.create 64 }
+
+let used_pages t = Hashtbl.length t.table
+let capacity t = t.capacity_pages
+let has_room t = used_pages t < t.capacity_pages
+let service_time t = t.service
+let holds t ~owner ~slot = Hashtbl.mem t.table (owner, slot)
+
+let store t ~owner ~slot =
+  if holds t ~owner ~slot then Ok ()
+  else if has_room t then begin
+    Hashtbl.replace t.table (owner, slot) ();
+    Ok ()
+  end
+  else Error `Remote_full
+
+let drop t ~owner ~slot = Hashtbl.remove t.table (owner, slot)
+let wipe t = Hashtbl.reset t.table

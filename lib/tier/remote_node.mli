@@ -1,0 +1,38 @@
+(** A deterministic model of a remote memory node.
+
+    The far end of the disaggregated-memory tier: a bounded pool of
+    page slots keyed by [(owner, slot)], with a fixed per-page service
+    latency. The node itself is passive bookkeeping — {!Store} does
+    the link transfers and sleeps the service time under the calling
+    domain's own guarantees, so the node adds no hidden scheduling and
+    two same-seed runs behave identically.
+
+    Capacity is a hard bound: {!store} on a full node returns
+    [`Remote_full] and the caller degrades to the disk tier — a full
+    remote node never kills anything. *)
+
+open Engine
+
+type t
+
+val create : ?service:Time.span -> capacity_pages:int -> unit -> t
+(** [service] (default 25 us) is the node-side latency per page
+    looked up or stored — DRAM plus the remote NIC, far below a disk
+    transaction. *)
+
+val store : t -> owner:string -> slot:int -> (unit, [ `Remote_full ]) result
+(** Idempotent: storing a page the node already holds succeeds
+    without consuming a second slot. *)
+
+val holds : t -> owner:string -> slot:int -> bool
+val drop : t -> owner:string -> slot:int -> unit
+
+val has_room : t -> bool
+val used_pages : t -> int
+val capacity : t -> int
+val service_time : t -> Time.span
+
+val wipe : t -> unit
+(** Forget everything — models the remote node power-cycling; owners'
+    [in_remote] hints go stale and their next fetch degrades to disk
+    (tests only). *)

@@ -10,9 +10,17 @@
     charged against the client's slice with roll-over accounting, and
     slack goes to x-flagged clients.
 
-    (Packets are three orders of magnitude shorter than disk
-    transactions, so the short-block problem does not bite and no
-    laxity mechanism is needed on this resource.) *)
+    Individual packets are three orders of magnitude shorter than disk
+    transactions, so single-packet clients need no laxity. Bulk
+    transfers — a page fragmented into many MTU packets, as the
+    remote-memory tier issues — reintroduce the short-block problem at
+    network scale: the sender thinks between packets and a plain EDF
+    scheduler takes the link away at every gap. Such clients admit
+    with an [(p, s, x, l)] guarantee: [laxity] is how long the client
+    may hold its place on the runnable queue with an empty ring,
+    charged against its slice, exactly as the USD treats disk
+    transactions. [laxity = 0] (the default) is bit-for-bit the seed
+    behaviour. *)
 
 open Engine
 
@@ -24,14 +32,41 @@ type event =
   | Tx of { client : string; bytes : int; dur : Time.span }
   | Alloc of { client : string }
   | Slack_tx of { client : string; bytes : int; dur : Time.span }
+  | Lax of { client : string; dur : Time.span }
+      (** an empty bulk client held the link under its lax allowance *)
 
-val create : ?params:Net_params.t -> ?rollover:bool -> Sim.t -> t
+type admit_error =
+  | Bad_queue_depth of { depth : int }
+  | Bad_qos of { reason : string }
+      (** malformed guarantee (non-positive period/slice, slice
+          exceeding period, negative laxity) *)
+  | Link_overcommit of { requested : float; available : float }
+      (** admission would push Σ s/p past 1: [requested] is the s/p
+          asked for, [available] what admission control could still
+          grant *)
+
+val admit_error_message : admit_error -> string
+(** Reproduces the legacy untyped strings, e.g.
+    ["admission refused: utilisation 1.100 > 1"]. *)
+
+val pp_admit_error : Format.formatter -> admit_error -> unit
+
+val create :
+  ?name:string -> ?params:Net_params.t -> ?rollover:bool -> Sim.t -> t
+(** [name] (default ["link"]) labels the link's Obs metrics and is the
+    site key fault-injection plans target (see {!Inject.link}). *)
+
+val name : t -> string
+val params : t -> Net_params.t
 
 val admit :
   t -> name:string -> period:Time.span -> slice:Time.span -> ?extra:bool ->
-  ?queue_depth:int -> unit -> (client, string) result
+  ?queue_depth:int -> ?laxity:Time.span -> unit ->
+  (client, admit_error) result
 (** Admission control: Σ s/p ≤ 1 over the link. [queue_depth]
-    (default 64) bounds the client's transmit ring. *)
+    (default 64) bounds the client's transmit ring; [laxity]
+    (default 0) is the l of the [(p, s, x, l)] guarantee — see the
+    module header. *)
 
 val retire : t -> client -> unit
 
@@ -46,6 +81,9 @@ val transmit : t -> client -> bytes:int -> (unit, [ `Retired ]) result
 val packets_sent : client -> int
 val bytes_sent : client -> int
 val used_time : client -> Time.span
+val lax_time : client -> Time.span
+(** Lifetime lax (empty-ring) time charged to the client. *)
+
 val client_name : client -> string
 val trace : t -> event Trace.t
 val utilisation : t -> float

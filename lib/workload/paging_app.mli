@@ -37,13 +37,17 @@ val start :
   ?vm_bytes:int -> ?phys_frames:int -> ?optimistic:int -> ?swap_bytes:int ->
   ?compute_per_page:Time.span -> ?sample_period:Time.span ->
   ?cpu_slice:Time.span -> ?readahead:int -> ?policy:Policy.Spec.t ->
-  ?spare_pages:int -> ?pattern:pattern -> ?advice:Policy.Advice.t list ->
+  ?spare_pages:int ->
+  ?backing:(Usbs.Sfs.swapfile -> Tier.Backing.t) ->
+  ?pattern:pattern -> ?advice:Policy.Advice.t list ->
   unit -> (t, string) result
 (** [advice] is applied through the driver's advice channel right
     after binding, before the first access. [optimistic] (default 0)
     registers an optimistic frame quota beyond the guarantee —
     revocation-storm fodder for the chaos experiment. [spare_pages]
-    reserves bad-blok remap spares in the swap extent. *)
+    reserves bad-blok remap spares in the swap extent. [backing]
+    passes through to {!System.bind_paged} — page through a tiered
+    backing store instead of straight to the swapfile. *)
 
 val domain : t -> System.domain
 val bytes_processed : t -> int

@@ -382,7 +382,7 @@ let link_send_retired () =
         ~slice:(Time.ms 5) ()
     with
     | Ok c -> c
-    | Error e -> failwith e
+    | Error e -> failwith (Usnet.Link.admit_error_message e)
   in
   Usnet.Link.retire link c;
   (match Usnet.Link.send link c ~bytes:1000 with

@@ -19,10 +19,10 @@ let send_exn link c ~bytes =
   | Ok iv -> iv
   | Error `Retired -> failwith "send_exn: client retired"
 
-let admit_exn link ~name ~period ~slice ?extra () =
-  match Usnet.Link.admit link ~name ~period ~slice ?extra () with
+let admit_exn link ~name ~period ~slice ?extra ?laxity () =
+  match Usnet.Link.admit link ~name ~period ~slice ?extra ?laxity () with
   | Ok c -> c
-  | Error e -> failwith e
+  | Error e -> failwith (Usnet.Link.admit_error_message e)
 
 let tx_time_model () =
   let p = Usnet.Net_params.fast_ethernet in
