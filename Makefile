@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-scale smoke chaos crash remote scale fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-share bench-scale smoke chaos crash remote scale share fmt check clean
 
 all: build
 
@@ -28,6 +28,12 @@ bench-crash:
 # access pattern, fault-service latency and throughput side by side.
 bench-remote:
 	dune exec bench/main.exe -- remote
+
+# Regenerate the machine-readable sharing record: the 32-tenant CoW
+# fleet against its unshared/no-zram control arm — resident-frame
+# savings, CoW-break latency and compressed-tier hit economics.
+bench-share:
+	dune exec bench/main.exe -- share
 
 # Regenerate the machine-readable scale-out record: frame-stack and
 # EDF pick-next micro-benches at 8/64/256 clients against the seed's
@@ -74,7 +80,14 @@ remote:
 scale:
 	dune exec bin/nemesis_sim.exe -- scale
 
-check: fmt build test smoke chaos crash remote scale
+# Multi-tenancy run: a CoW fleet forked from one frozen template over
+# the compressed-RAM tier, half the fleet killed mid-run; one resident
+# copy per shared page, balanced reference books and untouched
+# bystander QoS asserted (non-zero exit on breach).
+share:
+	dune exec bin/nemesis_sim.exe -- tenancy -d 20 --tenants 12
+
+check: fmt build test smoke chaos crash remote scale share
 	@echo "check OK"
 
 clean:

@@ -340,6 +340,50 @@ let crash_recover_cmd =
           committed pages — with two clean domains as the control group")
     Term.(const run $ obs_args $ seed $ rounds $ json)
 
+let tenancy_cmd =
+  let seed =
+    let doc = "Simulation seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let tenants =
+    let doc = "Number of CoW tenants to fork from the template." in
+    Arg.(value & opt int 32 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc = "Also write the tenancy verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let no_share =
+    let doc = "Control arm: fork the fleet without CoW sharing." in
+    Arg.(value & flag & info [ "no-share" ] ~doc)
+  in
+  let no_zram =
+    let doc = "Page tenants straight to disk (no compressed-RAM tier)." in
+    Arg.(value & flag & info [ "no-zram" ] ~doc)
+  in
+  let run obs d seed tenants no_share no_zram json =
+    with_obs obs (fun () ->
+        let r =
+          Tenancy.run ~seed ~tenants ~duration:(sec d) ~share:(not no_share)
+            ~zram:(not no_zram) ()
+        in
+        Tenancy.print r;
+        Option.iter (fun path -> write_file path (Tenancy.to_json r)) json;
+        if not (Tenancy.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "tenancy"
+       ~doc:
+         "Multi-tenancy over stacked pagers: freeze a template image, \
+          fork 32 copy-on-write tenants over it (swap traffic through \
+          the compressed-RAM tier), share a read-only text segment, \
+          kill half the fleet mid-run, and assert one resident copy \
+          per shared page, balanced reference books and untouched \
+          bystander QoS")
+    Term.(
+      const run $ obs_args $ duration_arg 40 $ seed $ tenants $ no_share
+      $ no_zram $ json)
+
 let all_cmd =
   let run obs d =
     with_obs obs (fun () ->
@@ -363,7 +407,8 @@ let all_cmd =
         List.iter (run_ablation (min d 120)) ablation_names;
         Chaos.print (Chaos.run ~duration:(sec (min d 30)) ());
         Crash_recover.print (Crash_recover.run ());
-        Remote_page.print (Remote_page.run ~duration:(sec (min d 30)) ()))
+        Remote_page.print (Remote_page.run ~duration:(sec (min d 30)) ());
+        Tenancy.print (Tenancy.run ~duration:(sec (min d 40)) ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
     Term.(const run $ obs_args $ duration_arg 240)
@@ -378,6 +423,6 @@ let main =
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
       policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd;
-      remote_cmd; scale_cmd; all_cmd ]
+      remote_cmd; scale_cmd; tenancy_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

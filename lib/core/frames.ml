@@ -442,6 +442,30 @@ let alloc_colored t c ~color ~colors =
 
 let regions t = List.map (fun r -> (r.rname, r.first, r.count)) t.region_list
 
+(* Donate a frame from one client's stack to another's (PR 7: a frozen
+   CoW template surrenders its resident frames to the share host, which
+   then holds them on behalf of every tenant). The frame must be
+   settled — unmapped and unshared — so the hand-over is a pure
+   book-keeping move; no data copies, no pool transit. *)
+let transfer t ~src ~dst pfn =
+  if Ramtab.owner t.ramtab ~pfn <> Some src.domain then
+    invalid_arg "Frames.transfer: frame not owned by source client";
+  if Ramtab.state t.ramtab ~pfn <> Ramtab.Unused then
+    Error (Frame_in_use { pfn })
+  else if Ramtab.is_shared t.ramtab ~pfn then Error (Frame_in_use { pfn })
+  else if not (dst.live && dst.n < dst.g + dst.o) then
+    Error (Quota_exhausted { held = dst.n; quota = dst.g + dst.o })
+  else begin
+    if not (Frame_stack.remove src.stack pfn) then
+      invalid_arg "Frames.transfer: frame not on source client's stack";
+    src.n <- src.n - 1;
+    let width = Ramtab.width t.ramtab ~pfn in
+    Ramtab.set_owner t.ramtab ~pfn ~owner:dst.domain ~width;
+    Frame_stack.push dst.stack pfn;
+    dst.n <- dst.n + 1;
+    Ok ()
+  end
+
 let free t c pfn =
   if Ramtab.owner t.ramtab ~pfn <> Some c.domain then
     invalid_arg "Frames.free: frame not owned by client";

@@ -108,6 +108,13 @@ val free : t -> client -> int -> unit
 (** Voluntarily return a frame. It must be unused (unmapped) in the
     RamTab. *)
 
+val transfer : t -> src:client -> dst:client -> int -> (unit, error) result
+(** Move a settled (unmapped, unshared) frame from [src]'s stack to
+    [dst]'s, transferring RamTab ownership without a trip through the
+    free pool. Used when a frozen CoW template surrenders its resident
+    image to the share host. [Frame_in_use] if the frame is still
+    mapped or shared; [Quota_exhausted] if [dst] is at quota. *)
+
 val revocation_ready : t -> client -> unit
 (** The domain's reply that the top frames of its stack may now be
     reclaimed. *)

@@ -977,17 +977,89 @@ let advise_st st adv =
     flush_wb st
   | Policy.Advice.Sequential | Policy.Advice.Random -> ()
 
+(* Freeze seam (PR 7 stacked pagers): surrender every resident page so
+   a CoW template can donate its image to the share host. Each page is
+   settled first — parked writes flushed, dirty contents cleaned to
+   the backing store synchronously — so the disk copy stays the
+   durability floor and the surrendered frame is pure cache. Pages
+   whose durable copy cannot be established (swap dry, write failed)
+   stay resident and are simply not surrendered. Returns the
+   [(page, pfn)] pairs given up; their frames are unmapped (Unused in
+   the RamTab) but still on this client's stack, ready for
+   {!Frames.transfer}. Blocking (disk I/O): worker/domain thread
+   context only. *)
+let surrender_st st =
+  if st.forgetful then
+    failwith "paged driver: cannot surrender a forgetful stretch";
+  let env = st.env in
+  flush_wb st;
+  let out = ref [] in
+  for p = 0 to Array.length st.pages - 1 do
+    match st.pages.(p) with
+    | Resident r ->
+      let va = Stretch.page_base (the_stretch st) p in
+      let pte = Stretch_driver.unmap_page env va in
+      settle_prefetch st p (Pte.referenced pte);
+      let dirty = Pte.dirty pte || r.dirty_latched in
+      let must_clean = dirty || not r.clean_on_disk in
+      let cleaned =
+        (not must_clean)
+        ||
+        match blok_for st p with
+        | Some b -> write_now st ~page:p b
+        | None -> false
+      in
+      if cleaned then begin
+        st.repl.Policy.Replacement.remove p;
+        st.pages.(p) <- Swapped;
+        out := (p, r.pfn) :: !out
+      end
+      else begin
+        if Pte.dirty pte then r.dirty_latched <- true;
+        Stretch_driver.map_page env va ~pfn:r.pfn
+      end
+    | Fresh | Swapped | Wb_pending _ | Lost -> ()
+  done;
+  List.rev !out
+
+(* Adoption seam (PR 7): register a page whose frame was installed by
+   an outer driver (a CoW break's private copy). The caller has
+   already allocated the frame under this driver's client and mapped
+   it read-write; from here on the page is managed like any other
+   resident — evictable, cleanable, revocable. The copy has no disk
+   image yet, so it enters dirty-latched. *)
+let adopt_st st ~page ~pfn =
+  if page < 0 || page >= Array.length st.pages then
+    invalid_arg "Sd_paged.adopt: page out of range";
+  (match st.pages.(page) with
+  | Fresh | Swapped -> ()
+  | Resident _ | Wb_pending _ | Lost ->
+    invalid_arg "Sd_paged.adopt: page already resident");
+  st.pages.(page) <-
+    Resident
+      { pfn; clean_on_disk = false; dirty_latched = true;
+        via_prefetch = false };
+  st.repl.Policy.Replacement.insert page;
+  st.tick <- st.tick + 1;
+  Frame_stack.move_to_bottom (stack st) pfn
+
 type handle = {
   h_info : unit -> info;
   h_advise : Policy.Advice.t -> unit;
   h_policy : string;
   h_extent : unit -> int * int;
+  h_surrender : unit -> (int * int) list;
+  h_adopt : page:int -> pfn:int -> unit;
+  h_obtain : unit -> int option;
 }
 
 let info h = h.h_info ()
 let advise h adv = h.h_advise adv
 let policy_name h = h.h_policy
 let swap_extent h = h.h_extent ()
+let surrender_resident h = h.h_surrender ()
+let adopt h ~page ~pfn = h.h_adopt ~page ~pfn
+let obtain h = h.h_obtain ()
 
 let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
     ?(policy = Policy.Spec.default) ?(restore = []) ?backing ~swap env =
@@ -1120,4 +1192,7 @@ let create ?(forgetful = false) ?(initial_frames = 0) ?(readahead = 0)
                 crashed = st.crashed });
           h_advise = advise_st st;
           h_policy = pname;
-          h_extent = (fun () -> backing.Tier.Backing.extent ()) } )
+          h_extent = (fun () -> backing.Tier.Backing.extent ());
+          h_surrender = (fun () -> surrender_st st);
+          h_adopt = (fun ~page ~pfn -> adopt_st st ~page ~pfn);
+          h_obtain = (fun () -> obtain_frame st) } )

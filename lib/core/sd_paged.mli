@@ -105,6 +105,37 @@ val swap_extent : handle -> int * int
 (** [(first_lba, nblocks)] of the swap file's disk extent — the range
     a fault-injection plan scopes its bad bloks to. *)
 
+(** {2 Stacking seams}
+
+    Three hooks an outer pager (the CoW driver of [lib/share]) uses to
+    compose with this one. None of them is on the default fault path:
+    a driver whose handle is never frozen or adopted behaves
+    bit-for-bit as before. *)
+
+val surrender_resident : handle -> (int * int) list
+(** Settle and give up every resident page: parked writes are flushed,
+    dirty pages cleaned to the backing store synchronously, and each
+    surrendered page flips to [Swapped] with its frame unmapped
+    (Unused in the RamTab, still on the client's frame stack). Returns
+    the surrendered [(page, pfn)] pairs, ready for {!Frames.transfer}
+    to the share host. Pages whose durable copy cannot be established
+    stay resident and are omitted. Worker/domain thread context only
+    (disk I/O). *)
+
+val adopt : handle -> page:int -> pfn:int -> unit
+(** Register a private copy installed by an outer driver (a CoW
+    break): the frame must already be allocated under this driver's
+    frames client and mapped read-write at the page's address. The
+    page enters residency dirty-latched (no disk image yet) and is
+    thereafter evicted, cleaned and revoked like any other. *)
+
+val obtain : handle -> int option
+(** Get one frame by this driver's full means — pool, allocator,
+    eviction (cleaning victims as needed). The outer driver uses this
+    so a CoW break's copy frame is accounted and paid for exactly like
+    one of the inner driver's own page-ins. Worker thread context
+    only. *)
+
 val create :
   ?forgetful:bool -> ?initial_frames:int -> ?readahead:int ->
   ?policy:Policy.Spec.t -> ?restore:(int * int) list ->

@@ -224,6 +224,52 @@ let kill_domain _t d = Domains.kill d.dom
 
 let spec d = d.dspec
 
+(* A bare frames contract with no domain behind it (PR 7 stacked
+   pagers): the share host holds frames on behalf of every sharer, and
+   the zpool holds its compressed-tier budget, but neither is a
+   schedulable domain — no CPU contract, no fault channel, no
+   MMEntry. The client id comes out of the same counter as domain ids
+   so RamTab ownership stays unambiguous. The caller must install a
+   revocation handler before holding optimistic frames (the default
+   for a handler-less client is to be killed, which for a service
+   client is a no-op member scan — the frames would only be reclaimed,
+   not the service notified). *)
+let admit_service t ~guarantee ~optimistic =
+  match Frames.admit t.the_frames ~domain:t.next_id ~guarantee ~optimistic with
+  | Error e -> Error (Frames_admission e)
+  | Ok client ->
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Ok (id, client)
+
+(* Bind an application-built stretch driver (the CoW and shared-segment
+   drivers of [lib/share] compose existing drivers rather than coming
+   from a factory). Replaces any existing binding for the stretch's
+   sid, so an outer driver can interpose on one bound moments before. *)
+let bind_driver d s driver = Mm_entry.bind d.mm s driver
+
+(* Fork a tenant from a template domain: a fresh domain admitted under
+   the template's resource envelope (CPU period/slice, frame
+   guarantee/optimistic) but its own name. What "forking the paged
+   stretch" means is the caller's business — [fork] receives the new
+   domain and builds its address space (lib/share's spawn_cow attaches
+   the CoW driver there); if it fails the half-built domain is
+   killed. *)
+let spawn_cow t ~template ~name ~fork =
+  let sp = template.dspec in
+  match
+    add_domain t ~name ~cpu_period:sp.sp_cpu_period
+      ~cpu_slice:sp.sp_cpu_slice ~guarantee:sp.sp_guarantee
+      ~optimistic:sp.sp_optimistic ()
+  with
+  | Error e -> Error e
+  | Ok d -> (
+    match fork d with
+    | Ok x -> Ok (d, x)
+    | Error e ->
+      Domains.kill d.dom;
+      Error e)
+
 (* Re-admit a killed domain under its original contract: same name,
    same CPU period/slice, same frame guarantee — a fresh Domains.t and
    protection domain, the resource envelope of the old incarnation. *)

@@ -143,6 +143,33 @@ val respawn : t -> domain_spec -> (domain, error) result
     Goes through the same admission control as {!add_domain} (it can
     refuse if the dead domain's share has been given away). *)
 
+val admit_service :
+  t -> guarantee:int -> optimistic:int ->
+  (int * Frames.client, error) result
+(** A bare frames contract with no schedulable domain behind it — the
+    share host and the compressed-memory pool of [lib/share] hold
+    frames this way. Returns the fresh owner id (from the domain-id
+    counter) and the client. A service client holding optimistic
+    frames must install a revocation handler
+    ({!Frames.set_revocation_handler}); there is no MMEntry to do it
+    for them. *)
+
+val spawn_cow :
+  t -> template:domain -> name:string ->
+  fork:(domain -> ('a, error) result) ->
+  (domain * 'a, error) result
+(** Fork a tenant from a template: admit a fresh domain under the
+    template's {!domain_spec} envelope (its own name), then hand it to
+    [fork] to build the copy-on-write address space (see
+    [Share.Cow.spawn]). If [fork] fails the half-built domain is
+    killed and its resources released. *)
+
+val bind_driver : domain -> Stretch.t -> Stretch_driver.t -> unit
+(** Bind an application-built stretch driver (the composed CoW /
+    shared-segment drivers of [lib/share]). Replaces any existing
+    binding for the stretch, letting an outer driver interpose on an
+    inner one bound moments before. *)
+
 (** {2 Stretch conveniences} *)
 
 val alloc_stretch :

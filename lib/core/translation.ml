@@ -75,6 +75,59 @@ let unmap t ~pdom ~domain ~va =
       Ok (pte, c.Cost.syscall + c.Cost.reg_op + Mmu.lookup_cost t.mmu ~vpn)
     end
 
+(* Shared mappings (PR 7 stacked pagers): install [pfn] under [va]
+   even though the frame is owned by another domain (the share host)
+   and possibly already mapped elsewhere. Soundness comes from the
+   RamTab reference count: every shared mapping holds one reference,
+   and the frame returns to [Unused] only when the last one drops, so
+   the normal ownership checks ([free], [transparent_reclaim]) keep
+   refusing to touch it while any domain still maps it. *)
+let map_shared t ~pdom ~va ~pfn =
+  let vpn = Addr.vpn_of_vaddr va in
+  let pte = Mmu.lookup t.mmu ~vpn in
+  match check_meta ~pdom pte with
+  | Error e -> Error e
+  | Ok () ->
+    let usable =
+      pfn >= 0
+      && pfn < Ramtab.nframes t.ramtab
+      && Ramtab.owner t.ramtab ~pfn <> None
+      && (match Ramtab.state t.ramtab ~pfn with
+         | Ramtab.Unused -> true
+         | Ramtab.Mapped -> Ramtab.is_shared t.ramtab ~pfn
+         | Ramtab.Nailed -> false)
+    in
+    if not usable then Error Frame_unusable
+    else begin
+      Mmu.set_pte t.mmu ~vpn (Pte.set_valid pte ~pfn);
+      Ramtab.set_state t.ramtab ~pfn Ramtab.Mapped;
+      Ramtab.add_ref t.ramtab ~pfn;
+      let c = cost t in
+      Ok (c.Cost.syscall + c.Cost.reg_op + Mmu.lookup_cost t.mmu ~vpn)
+    end
+
+let unmap_shared t ~pdom ~va =
+  let vpn = Addr.vpn_of_vaddr va in
+  let pte = Mmu.lookup t.mmu ~vpn in
+  match check_meta ~pdom pte with
+  | Error e -> Error e
+  | Ok () ->
+    if not (Pte.valid pte) then Error Not_mapped
+    else begin
+      let pfn = Pte.pfn pte in
+      if not (Ramtab.is_shared t.ramtab ~pfn) then Error Frame_unusable
+      else begin
+        Mmu.set_pte t.mmu ~vpn (Pte.set_invalid pte);
+        let remaining = Ramtab.drop_ref t.ramtab ~pfn in
+        if remaining = 0 then Ramtab.set_state t.ramtab ~pfn Ramtab.Unused;
+        let c = cost t in
+        Ok
+          ( pte,
+            remaining,
+            c.Cost.syscall + c.Cost.reg_op + Mmu.lookup_cost t.mmu ~vpn )
+      end
+    end
+
 let trans t ~va =
   let vpn = Addr.vpn_of_vaddr va in
   let pte = Mmu.lookup t.mmu ~vpn in

@@ -62,6 +62,23 @@ val unmap :
     {e previous} PTE so the caller can inspect dirty/referenced bits
     (a paging stretch driver needs them to decide whether to clean). *)
 
+val map_shared :
+  t -> pdom:Pdom.t -> va:Addr.vaddr -> pfn:int -> (Time.span, error) result
+(** Install a {e shared} mapping of [va] to [pfn]: the frame may be
+    owned by another domain (the share host) and may already be mapped
+    under other virtual addresses. Each successful call takes one
+    RamTab reference on the frame; a nailed frame, or a mapped frame
+    with no references (someone's private mapping), is refused with
+    [Frame_unusable]. *)
+
+val unmap_shared :
+  t -> pdom:Pdom.t -> va:Addr.vaddr -> (Pte.t * int * Time.span, error) result
+(** Remove one shared mapping of [va], dropping its RamTab reference.
+    Returns the previous PTE and the number of references remaining;
+    at zero the frame reverts to [Unused] and the share host may free
+    it. [Frame_unusable] if the mapped frame holds no references (it
+    is someone's private mapping — use {!unmap}). *)
+
 val trans : t -> va:Addr.vaddr -> Pte.t * Time.span
 (** Retrieve the current mapping, if any ({!Pte.absent} otherwise). *)
 

@@ -86,7 +86,8 @@ let plan_for ~seed ~first ~nblocks =
             cf_delay_span = Time.of_ms_float 2.0 } ) ];
     links = [];
     pressure =
-      Some { Inject.pr_period = Time.ms 500; pr_hold = Time.ms 150 } }
+      Some { Inject.pr_period = Time.ms 500; pr_hold = Time.ms 150 };
+    zpool_pressure = None }
 
 let start_app sys ~name ?policy ?spare_pages ?(optimistic = 0) () =
   let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 50) () in

@@ -135,7 +135,8 @@ let crash_plan ~seed ~after ~first ~len =
     stalls = [];
     chans = [];
     links = [];
-    pressure = None }
+    pressure = None;
+    zpool_pressure = None }
 
 let run_for sys span =
   let sim = System.sim sys in

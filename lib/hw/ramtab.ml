@@ -1,6 +1,11 @@
 type state = Unused | Mapped | Nailed
 
-type entry = { mutable owner : int; mutable width : int; mutable st : state }
+type entry = {
+  mutable owner : int;
+  mutable width : int;
+  mutable st : state;
+  mutable refs : int;
+}
 
 type t = entry array
 
@@ -8,7 +13,7 @@ let no_owner = -1
 
 let create ~nframes =
   Array.init nframes (fun _ ->
-      { owner = no_owner; width = Addr.page_shift; st = Unused })
+      { owner = no_owner; width = Addr.page_shift; st = Unused; refs = 0 })
 
 let nframes t = Array.length t
 
@@ -21,13 +26,16 @@ let set_owner t ~pfn ~owner ~width =
   let e = t.(pfn) in
   e.owner <- owner;
   e.width <- width;
-  e.st <- Unused
+  e.st <- Unused;
+  e.refs <- 0
 
 let clear_owner t ~pfn =
   check t pfn;
   let e = t.(pfn) in
   if e.st <> Unused then
     invalid_arg (Printf.sprintf "Ramtab.clear_owner: pfn %d is in use" pfn);
+  if e.refs <> 0 then
+    invalid_arg (Printf.sprintf "Ramtab.clear_owner: pfn %d is shared" pfn);
   e.owner <- no_owner;
   e.width <- Addr.page_shift
 
@@ -47,6 +55,29 @@ let state t ~pfn =
 let set_state t ~pfn st =
   check t pfn;
   t.(pfn).st <- st
+
+let refs t ~pfn =
+  check t pfn;
+  t.(pfn).refs
+
+let is_shared t ~pfn =
+  check t pfn;
+  t.(pfn).refs > 0
+
+let add_ref t ~pfn =
+  check t pfn;
+  let e = t.(pfn) in
+  if e.owner = no_owner then
+    invalid_arg (Printf.sprintf "Ramtab.add_ref: pfn %d has no owner" pfn);
+  e.refs <- e.refs + 1
+
+let drop_ref t ~pfn =
+  check t pfn;
+  let e = t.(pfn) in
+  if e.refs <= 0 then
+    invalid_arg (Printf.sprintf "Ramtab.drop_ref: pfn %d is not shared" pfn);
+  e.refs <- e.refs - 1;
+  e.refs
 
 let is_available_for_mapping t ~pfn ~domain =
   pfn >= 0 && pfn < Array.length t

@@ -31,6 +31,24 @@ val width : t -> pfn:int -> int
 val state : t -> pfn:int -> state
 val set_state : t -> pfn:int -> state -> unit
 
+val refs : t -> pfn:int -> int
+(** Number of shared mappings of this frame (0 for a private frame).
+    Grown for PR 7's stacked pagers: a frame mapped copy-on-write or
+    into a shared segment carries one reference per domain mapping so
+    that revocation and kill of the sharer and sharee stay
+    independently sound. *)
+
+val is_shared : t -> pfn:int -> bool
+(** [refs > 0]. *)
+
+val add_ref : t -> pfn:int -> unit
+(** Count one more shared mapping. The frame must have an owner.
+    Raises [Invalid_argument] otherwise. *)
+
+val drop_ref : t -> pfn:int -> int
+(** Drop one shared mapping, returning the number remaining. Raises
+    [Invalid_argument] on underflow (a double free). *)
+
 val is_available_for_mapping : t -> pfn:int -> domain:int -> bool
 (** The validation used by the low-level [map] call: the calling
     domain owns the frame and it is not currently mapped or nailed. *)

@@ -34,6 +34,12 @@ type link_fault = {
 
 type pressure = { pr_period : Time.span; pr_hold : Time.span }
 
+type zpool_pressure = {
+  zp_period : Time.span;
+  zp_hold : Time.span;
+  zp_shrink : int;
+}
+
 type crash_point = {
   cp_after : Time.t;
   cp_site : string option;
@@ -49,6 +55,7 @@ type plan = {
   chans : (string * chan_fault) list;
   links : (string * link_fault) list;
   pressure : pressure option;
+  zpool_pressure : zpool_pressure option;
   crashes : crash_point list;
 }
 
@@ -61,6 +68,7 @@ let default_plan =
     chans = [];
     links = [];
     pressure = None;
+    zpool_pressure = None;
     crashes = [];
   }
 
@@ -85,6 +93,7 @@ type tally = {
   link_drops : int;
   link_delays : int;
   pressure_bursts : int;
+  zpool_bursts : int;
   crashes : int;
   retried : int;
   remapped : int;
@@ -102,6 +111,7 @@ let zero_tally =
     link_drops = 0;
     link_delays = 0;
     pressure_bursts = 0;
+    zpool_bursts = 0;
     crashes = 0;
     retried = 0;
     remapped = 0;
@@ -284,6 +294,9 @@ let link ~name =
 
 let pressure () = if not !enabled then None else !the_plan.pressure
 
+let zpool_pressure () =
+  if not !enabled then None else !the_plan.zpool_pressure
+
 (* A crash point tears the durable write it fires on: only a seeded
    prefix of the transaction's bloks reaches the platter. [Rng.int]
    over [nblocks] guarantees at least the final blok is lost. *)
@@ -338,6 +351,17 @@ let note_pressure_burst () =
   counts :=
     { !counts with pressure_bursts = !counts.pressure_bursts + 1 };
   metric "pressure_bursts"
+
+(* Zpool bursts, like frame-pressure bursts, are tallied outside the
+   [accounted] equation: shrinking the compressed tier's budget sheds
+   clean cache copies whose durable image is already on disk, so there
+   is no media error to answer — the recovery is the shed itself,
+   tallied per class here. *)
+let note_zpool_burst ~shed =
+  counts := { !counts with zpool_bursts = !counts.zpool_bursts + 1 };
+  bump_class "zpool.burst";
+  metric "zpool_bursts";
+  if shed > 0 then Obs.Metrics.add "inject.zpool_shed_frames" shed
 
 let tally () = !counts
 

@@ -75,6 +75,16 @@ type pressure = {
   pr_hold : Time.span;  (** how long a burst holds its frames *)
 }
 
+type zpool_pressure = {
+  zp_period : Time.span;  (** time between budget-shrink bursts *)
+  zp_hold : Time.span;  (** how long the shrunken budget holds *)
+  zp_shrink : int;  (** frames taken off the compressed-tier budget *)
+}
+(** Seeded bursts that shrink the compressed-memory tier's frame
+    budget mid-run (consumed by [Share.Zpool]): each burst forces the
+    zpool to shed compressed pages down to the reduced budget, then
+    restores it after [zp_hold]. *)
+
 type crash_point = {
   cp_after : Time.t;  (** armed from this virtual time on *)
   cp_site : string option;
@@ -97,6 +107,7 @@ type plan = {
   chans : (string * chan_fault) list;  (** keyed by event-channel name *)
   links : (string * link_fault) list;  (** keyed by network-link name *)
   pressure : pressure option;  (** consumed by the chaos gremlin *)
+  zpool_pressure : zpool_pressure option;  (** consumed by [Share.Zpool] *)
   crashes : crash_point list;
 }
 
@@ -146,6 +157,8 @@ val link : name:string -> chan_outcome
 
 val pressure : unit -> pressure option
 
+val zpool_pressure : unit -> zpool_pressure option
+
 val crash_write :
   now:Time.t -> site:string -> lba:int -> nblocks:int -> int option
 (** Consulted by durable writers ({!Usbs.Sfs} data writes,
@@ -178,6 +191,7 @@ type tally = {
   link_drops : int;  (** packets lost on an injected lossy link *)
   link_delays : int;
   pressure_bursts : int;
+  zpool_bursts : int;  (** compressed-tier budget-shrink bursts fired *)
   crashes : int;  (** crash points fired (torn writes) *)
   retried : int;
   remapped : int;
@@ -194,6 +208,13 @@ val accounted : unit -> bool
 
 val note_pressure_burst : unit -> unit
 (** Called by the chaos gremlin once per burst. *)
+
+val note_zpool_burst : shed:int -> unit
+(** Called by the zpool once per budget-shrink burst; [shed] is how
+    many frames the shrink forced out. Tallied outside the
+    {!accounted} equation — shedding drops clean cache copies whose
+    durable image is already below, so no media error needs
+    answering. *)
 
 val by_class : unit -> (string * int) list
 (** Injection counts per class (e.g. ["disk.write.persistent"]),

@@ -103,6 +103,12 @@ let view_of h =
       Array.init (n + 1) (fun i ->
           ((if i = n then infinity else h.bounds.(i)), h.counts.(i))) }
 
+let sum_labels name =
+  Hashtbl.fold
+    (fun (n, _) m acc ->
+      match m with MCounter r when n = name -> acc + !r | _ -> acc)
+    registry 0
+
 let hist_view ?(label = "") name =
   match Hashtbl.find_opt registry (name, label) with
   | Some (MHist h) -> Some (view_of h)

@@ -34,6 +34,11 @@ val latency_bounds_us : float array
 val counter_value : ?label:string -> string -> int
 (** 0 when the counter does not exist. *)
 
+val sum_labels : string -> int
+(** Sum of a counter over every label it is registered under —
+    per-domain attribution rolled up into a total (e.g. all tenants'
+    ["share.hit"] counters). 0 when no label has the counter. *)
+
 val gauge_value : ?label:string -> string -> float option
 
 (** An immutable view of a histogram, for reports and tests. *)

@@ -86,23 +86,45 @@ let body_of_record = function
       Printf.sprintf "commit %s %s %s" (pairs_to_string pairs)
         (pairs_to_string retire) name
 
+(* Typed parse errors (PR 5 convention): a malformed record body is
+   data, not a programming error — replay quarantines it by treating
+   the body as invalid. The printers render the legacy failwith
+   strings. *)
+type parse_error =
+  | Bad_pair of string  (** token is not a "page:slot" pair *)
+  | Missing_pairs  (** the record body ended short of its pair count *)
+
+let pp_parse_error ppf = function
+  | Bad_pair _ -> Format.pp_print_string ppf "pair"
+  | Missing_pairs -> Format.pp_print_string ppf "pairs"
+
+let parse_error_message e = Format.asprintf "%a" pp_parse_error e
+
 let pair_of_token tok =
   match String.index_opt tok ':' with
-  | None -> failwith "pair"
-  | Some i ->
-      ( int_of_string (String.sub tok 0 i),
-        int_of_string (String.sub tok (i + 1) (String.length tok - i - 1)) )
+  | None -> Error (Bad_pair tok)
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub tok 0 i),
+          int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1))
+        )
+      with
+      | Some p, Some s -> Ok (p, s)
+      | _ -> Error (Bad_pair tok))
 
 (* Take [n] "p:s" tokens off the front. *)
 let rec take_pairs n toks =
-  if n = 0 then ([], toks)
+  if n = 0 then Ok ([], toks)
   else
     match toks with
-    | [] -> failwith "pairs"
-    | tok :: rest ->
-        let p = pair_of_token tok in
-        let ps, rest = take_pairs (n - 1) rest in
-        (p :: ps, rest)
+    | [] -> Error Missing_pairs
+    | tok :: rest -> (
+        match pair_of_token tok with
+        | Error e -> Error e
+        | Ok p -> (
+            match take_pairs (n - 1) rest with
+            | Error e -> Error e
+            | Ok (ps, rest) -> Ok (p :: ps, rest)))
 
 let record_of_body body =
   try
@@ -128,15 +150,19 @@ let record_of_body body =
         Some
           (Remap
              { name; slot = int_of_string slot; spare = int_of_string spare })
-    | "commit" :: np :: rest ->
-        let pairs, rest = take_pairs (int_of_string np) rest in
-        (match rest with
-        | nr :: rest ->
-            let retire, rest = take_pairs (int_of_string nr) rest in
-            (match rest with
-            | [ name ] -> Some (Commit { name; pairs; retire })
-            | _ -> None)
-        | [] -> None)
+    | "commit" :: np :: rest -> (
+        match take_pairs (int_of_string np) rest with
+        | Error _ -> None
+        | Ok (pairs, rest) -> (
+            match rest with
+            | nr :: rest -> (
+                match take_pairs (int_of_string nr) rest with
+                | Error _ -> None
+                | Ok (retire, rest) -> (
+                    match rest with
+                    | [ name ] -> Some (Commit { name; pairs; retire })
+                    | _ -> None))
+            | [] -> None))
     | _ -> None
   with _ -> None
 

@@ -42,6 +42,17 @@ type record =
           (** (stretch page, old slot) superseded by this commit *)
     }
 
+type parse_error =
+  | Bad_pair of string
+      (** a token of a Commit body is not a ["page:slot"] pair *)
+  | Missing_pairs
+      (** the body ended short of its declared pair count *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+(** Renders the legacy failwith strings (["pair"] / ["pairs"]). *)
+
+val parse_error_message : parse_error -> string
+
 type t
 
 val create : u:Usd.t -> client:Usd.client -> first:int -> nblocks:int -> t

@@ -206,10 +206,20 @@ let swap_name sf = sf.sname
 let attached sf = sf.client <> None
 let swap_journaled sf = sf.fs.journal <> None
 
+(* Typed error (PR 5 convention) replacing the failwith escape: a
+   detached swapfile has no USD client until reattached. The printer
+   renders the legacy message. *)
+type client_error = Detached of { name : string }
+
+let pp_client_error ppf (Detached { name }) =
+  Format.fprintf ppf "Sfs.usd_client: %s is detached" name
+
+let client_error_message e = Format.asprintf "%a" pp_client_error e
+
 let usd_client sf =
   match sf.client with
-  | Some c -> c
-  | None -> failwith ("Sfs.usd_client: " ^ sf.sname ^ " is detached")
+  | Some c -> Ok c
+  | None -> Error (Detached { name = sf.sname })
 
 let retry_count sf = sf.retries
 let remap_count sf = sf.remapped

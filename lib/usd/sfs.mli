@@ -172,8 +172,18 @@ val slot_ok : swapfile -> slot:int -> bool
 (** The durable stamp for this slot is present and intact — the
     remount verification primitive. *)
 
-val usd_client : swapfile -> Usd.client
-(** Raises [Failure] on a detached swapfile. *)
+type client_error = Detached of { name : string }
+      (** the swapfile has no USD client until reattached *)
+
+val pp_client_error : Format.formatter -> client_error -> unit
+(** Renders the legacy message
+    (["Sfs.usd_client: NAME is detached"]). *)
+
+val client_error_message : client_error -> string
+
+val usd_client : swapfile -> (Usd.client, client_error) result
+(** [Detached] on a detached swapfile (the old API raised
+    [Failure]). *)
 
 val retry_count : swapfile -> int
 (** Transient-error retries performed so far. *)

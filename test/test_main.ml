@@ -5,4 +5,5 @@ let () =
    @ Test_core_vm.suite @ Test_domains.suite @ Test_runtime.suite
    @ Test_extensions.suite @ Test_properties.suite @ Test_stress.suite
    @ Test_policy.suite @ Test_experiments.suite @ Test_inject.suite
-   @ Test_crash.suite @ Test_scale.suite @ Test_tier.suite)
+   @ Test_crash.suite @ Test_scale.suite @ Test_tier.suite
+   @ Test_share.suite)
