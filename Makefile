@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-share bench-scale smoke chaos crash remote scale share fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-failover bench-share bench-scale smoke chaos crash remote failover scale share fmt check clean
 
 all: build
 
@@ -28,6 +28,13 @@ bench-crash:
 # access pattern, fault-service latency and throughput side by side.
 bench-remote:
 	dune exec bench/main.exe -- remote
+
+# Regenerate the machine-readable failover record: the hotspot
+# workload against the disk, the healthy replicated fleet and the
+# fleet with a node wiped at T/2 — post-wipe fault latency must stay
+# within 2x the healthy remote path and far from the disk.
+bench-failover:
+	dune exec bench/main.exe -- failover
 
 # Regenerate the machine-readable sharing record: the 32-tenant CoW
 # fleet against its unshared/no-zram control arm — resident-frame
@@ -74,6 +81,17 @@ crash:
 remote:
 	dune exec bin/nemesis_sim.exe -- remote -d 20
 
+# Failover run: three tiered domains page through a 4-node replicated
+# fleet (R = 2) beside three disk-only bystanders; one node is wiped
+# and another partitioned mid-run. Zero committed pages lost, zero
+# bystander violations, balanced fleet books, a re-replicated wipe
+# victim, a probed-back partition victim and a byte-identical
+# same-seed rerun asserted (non-zero exit on breach). Runs at the
+# full 30 s default: the verdict needs warm domains re-reading
+# through the fault windows.
+failover:
+	dune exec bin/nemesis_sim.exe -- failover
+
 # Scale-out run: 128 self-paging domains under tight admission
 # control; zero QoS violations, balanced frame books and the typed
 # late-comer refusal asserted (non-zero exit on breach).
@@ -87,7 +105,7 @@ scale:
 share:
 	dune exec bin/nemesis_sim.exe -- tenancy -d 20 --tenants 12
 
-check: fmt build test smoke chaos crash remote scale share
+check: fmt build test smoke chaos crash remote failover scale share
 	@echo "check OK"
 
 clean:

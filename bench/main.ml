@@ -350,6 +350,25 @@ let run_remote () =
     (fun () -> output_string oc (Experiments.Remote_page.bench_to_json r));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Part 5b': the failover verdict --------------------------------- *)
+
+(* The hotspot workload against the disk, the healthy fleet and the
+   fleet with a node wiped at T/2; the fault-latency histogram is split
+   at the wipe so the post-wipe window can be compared against the same
+   window of a healthy run. Headline verdict: losing a node costs at
+   most 2x the healthy remote path and stays far from the disk —
+   replication turns node loss into a latency event, not a cliff. *)
+let run_failover () =
+  let r = Experiments.Failover.bench ~duration:(Time.sec 30) () in
+  Experiments.Failover.bench_print r;
+  flush stdout;
+  let path = "BENCH_failover.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Experiments.Failover.bench_to_json r));
+  Printf.printf "wrote %s\n%!" path
+
 (* --- Part 5c: the sharing / stacked-pager verdict ------------------- *)
 
 (* The 32-tenant CoW fleet against its unshared control arm (same
@@ -597,6 +616,7 @@ let () =
   | [| _; "chaos" |] -> run_chaos ()
   | [| _; "crash" |] -> run_crash ()
   | [| _; "remote" |] -> run_remote ()
+  | [| _; "failover" |] -> run_failover ()
   | [| _; "share" |] -> run_share ()
   | [| _; "scale" |] -> run_scale ()
   | _ ->
@@ -606,5 +626,6 @@ let () =
     run_chaos ();
     run_crash ();
     run_remote ();
+    run_failover ();
     run_share ();
     run_scale ()

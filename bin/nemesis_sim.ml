@@ -282,6 +282,35 @@ let remote_cmd =
           tier loss books and a byte-identical same-seed rerun")
     Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
 
+let failover_cmd =
+  let seed =
+    let doc = "Simulation and fault-injection seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json =
+    let doc = "Also write the failover verdict as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run obs d seed json =
+    with_obs obs (fun () ->
+        let r = Failover.run ~seed ~duration:(sec d) () in
+        Failover.print r;
+        Option.iter (fun path -> write_file path (Failover.to_json r)) json;
+        if not (Failover.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Replicated remote memory under node loss: three tiered domains \
+          page through a 4-node fleet (2 replicas per page, rendezvous \
+          placement) while three disk-only bystanders run beside them; \
+          mid-run one node is wiped and another partitioned, and the \
+          verdict demands zero committed pages lost, zero bystander \
+          violations, balanced fleet books, a re-replicated wipe victim, \
+          a probed-back partition victim and a byte-identical same-seed \
+          rerun")
+    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
+
 let scale_cmd =
   let seed =
     let doc = "Simulation seed." in
@@ -408,6 +437,7 @@ let all_cmd =
         Chaos.print (Chaos.run ~duration:(sec (min d 30)) ());
         Crash_recover.print (Crash_recover.run ());
         Remote_page.print (Remote_page.run ~duration:(sec (min d 30)) ());
+        Failover.print (Failover.run ~duration:(sec (min d 30)) ());
         Tenancy.print (Tenancy.run ~duration:(sec (min d 40)) ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
@@ -423,6 +453,6 @@ let main =
   Cmd.group info
     [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
       policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd;
-      remote_cmd; scale_cmd; tenancy_cmd; all_cmd ]
+      remote_cmd; failover_cmd; scale_cmd; tenancy_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -87,7 +87,8 @@ let plan_for ~seed ~first ~nblocks =
     links = [];
     pressure =
       Some { Inject.pr_period = Time.ms 500; pr_hold = Time.ms 150 };
-    zpool_pressure = None }
+    zpool_pressure = None;
+    node_faults = [] }
 
 let start_app sys ~name ?policy ?spare_pages ?(optimistic = 0) () =
   let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 50) () in

@@ -136,7 +136,8 @@ let crash_plan ~seed ~after ~first ~len =
     chans = [];
     links = [];
     pressure = None;
-    zpool_pressure = None }
+    zpool_pressure = None;
+    node_faults = [] }
 
 let run_for sys span =
   let sim = System.sim sys in

@@ -1,0 +1,572 @@
+open Engine
+open Core
+
+type domain_report = {
+  dr_name : string;
+  dr_pattern : string;
+  dr_tiered : bool;
+  dr_mbit : float;
+  dr_accesses : int;
+  dr_fault_mean_us : float;
+  dr_fault_p95_us : float;
+  dr_violations : int;
+}
+
+type result = {
+  seed : int;
+  duration : Time.span;
+  domains : domain_report list;
+  fleet : Tier.Fleet.stats;
+  health : Tier.Fleet.node_health list;
+  books_balanced : bool;
+  store_totals : Tier.Fleet.store_stats;
+  lost_slots : int;
+  node_wipes : int;
+  node_partitions : int;
+  bystander_violations : int;
+  tiered_violations : int;
+  deterministic : bool;
+  audit : Obs.Qos_audit.summary;
+}
+
+let patterns =
+  [ ("seq", Workload.Paging_app.Sequential);
+    ("rand", Workload.Paging_app.Random);
+    ("hot", Workload.Paging_app.Hotspot) ]
+
+let fault_hist name =
+  match Obs.Metrics.hist_view ~label:name "fault.latency_us" with
+  | Some v -> (v.Obs.Metrics.hv_mean, Obs.Metrics.hist_quantile v 0.95)
+  | None -> (nan, nan)
+
+let start_app sys ~name ~pattern ?backing () =
+  (* six apps share the disk: 6 x 35/250 = 0.84 leaves admission room *)
+  let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 35) () in
+  match
+    Workload.Paging_app.start sys ~name ~mode:Workload.Paging_app.Paging_in
+      ~qos ~vm_bytes:(1024 * 1024) ~phys_frames:8
+      ~swap_bytes:(4 * 1024 * 1024) ?backing ~pattern ()
+  with
+  | Ok a -> a
+  | Error e -> failwith (Printf.sprintf "failover: %s: %s" name e)
+
+let node_count = 4
+let node_capacity = 160
+let node_name i = Printf.sprintf "n%d" i
+
+(* The fault plan is pure virtual time, no dice: n1 loses its RAM for
+   good at T/3 (the node stays up and answers "miss"); n2 falls off
+   the network over [T/2, 2T/3] with its contents intact. *)
+let plan_for ~seed ~duration =
+  let d = Time.to_ns duration in
+  { Inject.default_plan with
+    seed;
+    node_faults =
+      [ { Inject.nf_node = node_name 1;
+          nf_wipe_at = Some (Time.ns (d / 3));
+          nf_crash_at = None;
+          nf_partitions = [] };
+        { Inject.nf_node = node_name 2;
+          nf_wipe_at = None;
+          nf_crash_at = None;
+          nf_partitions = [ (Time.ns (d / 2), Time.ns (d * 2 / 3)) ] } ] }
+
+let build_fleet ~seed sys =
+  let nodes =
+    List.init node_count (fun i ->
+        let name = node_name i in
+        let link =
+          Usnet.Link.create ~name ~params:Usnet.Net_params.fast_ethernet
+            (System.sim sys)
+        in
+        let remote =
+          Tier.Remote_node.create ~capacity_pages:node_capacity ()
+        in
+        (name, remote, link))
+  in
+  (* The repair budget is deliberately a trickle (2 copies every
+     250 ms): re-replicating a wiped node takes a large fraction of
+     the run, so reads must fail over to survivors in the meantime —
+     that window is the point of the experiment. *)
+  ( Tier.Fleet.create ~seed ~replicas:2 ~repair_period:(Time.ms 250)
+      ~repair_budget:2 ~nodes (System.sim sys),
+    nodes )
+
+let run_once ~seed ~duration =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Inject.disarm ();
+  let config = { System.default_config with seed; main_memory_mb = 2 } in
+  let sys = System.create ~config () in
+  let fleet, _nodes = build_fleet ~seed sys in
+  let stores = ref [] in
+  let disk_apps =
+    List.map
+      (fun (pat, pattern) ->
+        let name = "disk_" ^ pat in
+        (name, pat, false, start_app sys ~name ~pattern ()))
+      patterns
+  in
+  let tier_apps =
+    List.map
+      (fun (pat, pattern) ->
+        let name = "fleet_" ^ pat in
+        (* per-node links: 3 domains x 5/20 + the fleet's repair
+           client 2/20 = 0.85 of each link *)
+        let clients =
+          match
+            Tier.Fleet.admit_clients fleet ~name:(name ^ ".tier")
+              ~period:(Time.ms 20) ~slice:(Time.ms 5) ~extra:true
+              ~laxity:(Time.of_ms_float 2.0) ()
+          with
+          | Ok cs -> cs
+          | Error e ->
+              failwith ("failover: " ^ Usnet.Link.admit_error_message e)
+        in
+        let backing swap =
+          let store =
+            Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
+              ~swap ()
+          in
+          stores := store :: !stores;
+          Tier.Fleet.backing store
+        in
+        (name, pat, true, start_app sys ~name ~pattern ~backing ()))
+      patterns
+  in
+  let apps = disk_apps @ tier_apps in
+  (* Faults are armed from the start (they fire by virtual time); a
+     quiet drain lets repair finish and in-flight packets settle
+     before the books are read. *)
+  Inject.arm (plan_for ~seed ~duration);
+  System.run ~until:duration sys;
+  Inject.disarm ();
+  System.run ~until:(Time.add duration (Time.sec 2)) sys;
+  let viol name app =
+    Chaos.violations_for ~names:[ name ]
+      ~ids:[ Domains.id (Workload.Paging_app.domain app).System.dom ]
+  in
+  let reports =
+    List.map
+      (fun (name, pat, tiered, app) ->
+        let mean, p95 = fault_hist name in
+        { dr_name = name;
+          dr_pattern = pat;
+          dr_tiered = tiered;
+          dr_mbit = Workload.Paging_app.sustained_mbit app;
+          dr_accesses = Workload.Paging_app.measured_accesses app;
+          dr_fault_mean_us = mean;
+          dr_fault_p95_us = p95;
+          dr_violations = viol name app })
+      apps
+  in
+  let bystanders, tiered = List.partition (fun r -> not r.dr_tiered) reports in
+  let tally = Inject.tally () in
+  let store_totals =
+    List.fold_left
+      (fun a s ->
+        let b = Tier.Fleet.store_stats s in
+        let open Tier.Fleet in
+        { st_cache_hits = a.st_cache_hits + b.st_cache_hits;
+          st_fleet_hits = a.st_fleet_hits + b.st_fleet_hits;
+          st_fleet_misses = a.st_fleet_misses + b.st_fleet_misses;
+          st_promotes = a.st_promotes + b.st_promotes;
+          st_demotes = a.st_demotes + b.st_demotes;
+          st_write_fallbacks = a.st_write_fallbacks + b.st_write_fallbacks;
+          st_clean_skips = a.st_clean_skips + b.st_clean_skips;
+          st_lost_slots = a.st_lost_slots + b.st_lost_slots })
+      { Tier.Fleet.st_cache_hits = 0; st_fleet_hits = 0; st_fleet_misses = 0;
+        st_promotes = 0; st_demotes = 0; st_write_fallbacks = 0;
+        st_clean_skips = 0; st_lost_slots = 0 }
+      !stores
+  in
+  { seed;
+    duration;
+    domains = reports;
+    fleet = Tier.Fleet.stats fleet;
+    health = Tier.Fleet.health fleet;
+    books_balanced = Tier.Fleet.books_balanced fleet;
+    store_totals;
+    lost_slots =
+      List.fold_left
+        (fun n s -> n + (Tier.Fleet.store_stats s).Tier.Fleet.st_lost_slots)
+        0 !stores;
+    node_wipes = tally.Inject.node_wipes;
+    node_partitions = tally.Inject.node_partitions;
+    bystander_violations =
+      List.fold_left (fun n r -> n + r.dr_violations) 0 bystanders;
+    tiered_violations =
+      List.fold_left (fun n r -> n + r.dr_violations) 0 tiered;
+    deterministic = true;
+    audit = Obs.Qos_audit.summarize () }
+
+let mbit_s f = if Float.is_nan f then "warming" else Report.f2 f
+let us f = if Float.is_nan f then "-" else Printf.sprintf "%.0f" f
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.duration));
+  let dom d =
+    Printf.sprintf
+      "{\"name\": %S, \"pattern\": %S, \"tiered\": %b, \"mbit_s\": %s, \
+       \"accesses\": %d, \"fault_mean_us\": %s, \"fault_p95_us\": %s, \
+       \"violations\": %d}"
+      d.dr_name d.dr_pattern d.dr_tiered
+      (if Float.is_nan d.dr_mbit then "null"
+       else Printf.sprintf "%.3f" d.dr_mbit)
+      d.dr_accesses
+      (if Float.is_nan d.dr_fault_mean_us then "null"
+       else Printf.sprintf "%.1f" d.dr_fault_mean_us)
+      (if Float.is_nan d.dr_fault_p95_us then "null"
+       else Printf.sprintf "%.1f" d.dr_fault_p95_us)
+      d.dr_violations
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"domains\": [%s],\n"
+       (String.concat ", " (List.map dom r.domains)));
+  let f = r.fleet in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"fleet\": {\"stores\": %d, \"acks\": %d, \"replica_skips\": %d, \
+        \"replica_timeouts\": %d, \"remote_fulls\": %d, \"lost_primaries\": \
+        %d, \"failovers\": %d, \"rebuilds\": %d, \"disk_fallbacks\": %d, \
+        \"secondary_rebuilds\": %d, \"retransmits\": %d, \"quarantines\": \
+        %d, \"readmissions\": %d, \"probes\": %d, \"probe_failures\": %d, \
+        \"wipes_applied\": %d, \"repair_rounds\": %d},\n"
+       f.Tier.Fleet.stores f.Tier.Fleet.acks f.Tier.Fleet.replica_skips
+       f.Tier.Fleet.replica_timeouts f.Tier.Fleet.remote_fulls
+       f.Tier.Fleet.lost_primaries f.Tier.Fleet.failovers
+       f.Tier.Fleet.rebuilds f.Tier.Fleet.disk_fallbacks
+       f.Tier.Fleet.secondary_rebuilds f.Tier.Fleet.retransmits
+       f.Tier.Fleet.quarantines f.Tier.Fleet.readmissions f.Tier.Fleet.probes
+       f.Tier.Fleet.probe_failures f.Tier.Fleet.wipes_applied
+       f.Tier.Fleet.repair_rounds);
+  let node h =
+    Printf.sprintf
+      "{\"name\": %S, \"used\": %d, \"capacity\": %d, \"quarantined\": %b, \
+       \"quarantines\": %d, \"readmissions\": %d}"
+      h.Tier.Fleet.nh_name h.Tier.Fleet.nh_used h.Tier.Fleet.nh_capacity
+      h.Tier.Fleet.nh_quarantined h.Tier.Fleet.nh_quarantines
+      h.Tier.Fleet.nh_readmissions
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"nodes\": [%s],\n"
+       (String.concat ", " (List.map node r.health)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"books_balanced\": %b,\n" r.books_balanced);
+  let st = r.store_totals in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"stores\": {\"cache_hits\": %d, \"fleet_hits\": %d, \
+        \"fleet_misses\": %d, \"promotes\": %d, \"demotes\": %d, \
+        \"write_fallbacks\": %d, \"clean_skips\": %d, \"lost_slots\": %d},\n"
+       st.Tier.Fleet.st_cache_hits st.Tier.Fleet.st_fleet_hits
+       st.Tier.Fleet.st_fleet_misses st.Tier.Fleet.st_promotes
+       st.Tier.Fleet.st_demotes st.Tier.Fleet.st_write_fallbacks
+       st.Tier.Fleet.st_clean_skips st.Tier.Fleet.st_lost_slots);
+  Buffer.add_string b (Printf.sprintf "  \"lost_slots\": %d,\n" r.lost_slots);
+  Buffer.add_string b
+    (Printf.sprintf "  \"node_wipes\": %d, \"node_partitions\": %d,\n"
+       r.node_wipes r.node_partitions);
+  Buffer.add_string b
+    (Printf.sprintf "  \"bystander_violations\": %d,\n"
+       r.bystander_violations);
+  Buffer.add_string b
+    (Printf.sprintf "  \"tiered_violations\": %d,\n" r.tiered_violations);
+  Buffer.add_string b
+    (Printf.sprintf "  \"deterministic\": %b\n" r.deterministic);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* Same-seed reproducibility is part of the verdict: the whole run —
+   wipe, partition, quarantine, repair — happens twice and the
+   canonical reports must match byte-for-byte. *)
+let run ?(seed = 42) ?(duration = Time.sec 30) () =
+  let r1 = run_once ~seed ~duration in
+  let r2 = run_once ~seed ~duration in
+  let canon r = to_json { r with deterministic = true } in
+  { r1 with deterministic = canon r1 = canon r2 }
+
+let ok r =
+  r.bystander_violations = 0 && r.books_balanced && r.lost_slots = 0
+  && r.node_wipes >= 1 && r.node_partitions >= 1
+  && r.fleet.Tier.Fleet.wipes_applied >= 1
+  && r.fleet.Tier.Fleet.failovers > 0
+  && r.fleet.Tier.Fleet.rebuilds > 0
+  && r.fleet.Tier.Fleet.quarantines >= 1
+  && r.fleet.Tier.Fleet.readmissions >= 1
+  && r.deterministic
+
+let print r =
+  Report.heading "Failover: replicated remote memory under node loss";
+  Printf.printf
+    "seed %d, %.0f s (wipe at T/3, partition over [T/2, 2T/3]) + 2 s drain\n\n"
+    r.seed (Time.to_sec r.duration);
+  Report.table
+    ~header:
+      [ "domain"; "pattern"; "backing"; "Mbit/s"; "accesses"; "fault us";
+        "p95 us"; "violations" ]
+    (List.map
+       (fun d ->
+         [ d.dr_name; d.dr_pattern; (if d.dr_tiered then "fleet" else "disk");
+           mbit_s d.dr_mbit; string_of_int d.dr_accesses;
+           us d.dr_fault_mean_us; us d.dr_fault_p95_us;
+           string_of_int d.dr_violations ])
+       r.domains);
+  print_newline ();
+  let f = r.fleet in
+  Printf.printf "placement: %d stores = %d acks (%s)\n" f.Tier.Fleet.stores
+    f.Tier.Fleet.acks
+    (if f.Tier.Fleet.stores = f.Tier.Fleet.acks then "balanced"
+     else "UNBALANCED");
+  Printf.printf
+    "primaries: %d lost = %d failovers + %d rebuilds + %d disk fallbacks \
+     (%s)\n"
+    f.Tier.Fleet.lost_primaries f.Tier.Fleet.failovers f.Tier.Fleet.rebuilds
+    f.Tier.Fleet.disk_fallbacks
+    (if r.books_balanced then "balanced" else "UNBALANCED");
+  Printf.printf
+    "health: %d wipes applied, %d quarantines, %d probes, %d readmissions, \
+     %d secondary rebuilds, %d repair rounds\n"
+    f.Tier.Fleet.wipes_applied f.Tier.Fleet.quarantines f.Tier.Fleet.probes
+    f.Tier.Fleet.readmissions f.Tier.Fleet.secondary_rebuilds
+    f.Tier.Fleet.repair_rounds;
+  List.iter
+    (fun h ->
+      Printf.printf "  node %s: %d/%d pages%s, %d quarantines, %d readmissions\n"
+        h.Tier.Fleet.nh_name h.Tier.Fleet.nh_used h.Tier.Fleet.nh_capacity
+        (if h.Tier.Fleet.nh_quarantined then " [quarantined]" else "")
+        h.Tier.Fleet.nh_quarantines h.Tier.Fleet.nh_readmissions)
+    r.health;
+  let st = r.store_totals in
+  Printf.printf
+    "reads: %d cache hits, %d fleet hits, %d never-placed (disk); %d \
+     demotes, %d write fallbacks, %d clean skips\n"
+    st.Tier.Fleet.st_cache_hits st.Tier.Fleet.st_fleet_hits
+    st.Tier.Fleet.st_fleet_misses st.Tier.Fleet.st_demotes
+    st.Tier.Fleet.st_write_fallbacks st.Tier.Fleet.st_clean_skips;
+  Printf.printf "committed pages lost: %d\n" r.lost_slots;
+  Printf.printf "same-seed rerun: %s\n\n"
+    (if r.deterministic then "byte-identical" else "DIVERGED");
+  Report.audit_section "Failover QoS audit" (Some r.audit);
+  Printf.printf "bystander (disk-only) violations: %d\n"
+    r.bystander_violations;
+  print_endline
+    (if ok r then
+       "VERDICT: ok — node loss survived without safety loss, books \
+        balance, bystanders unperturbed, reproducible"
+     else "VERDICT: FAILED")
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark: post-wipe fault latency vs the healthy remote path.      *)
+
+type bench_cell = {
+  bc_name : string;
+  bc_accesses : int;
+  bc_mean_us : float;
+  bc_half2_mean_us : float;
+  bc_fleet_hits : int;
+  bc_failovers : int;
+  bc_rebuilds : int;
+}
+
+type bench_result = {
+  b_seed : int;
+  b_duration : Time.span;
+  b_cells : bench_cell list;
+  b_healthy_us : float;
+  b_postwipe_us : float;
+  b_disk_us : float;
+  b_degradation : float;
+  b_ok : bool;
+}
+
+let bench_capacity = 300
+
+(* One hotspot run against one backend. The histogram is cumulative,
+   so the second-half window is recovered from (count, mean)
+   snapshots at T/2 and T: mean2h = (m2 c2 - m1 c1) / (c2 - c1).
+   When [wipe] is set, node n0 loses its contents at exactly T/2 —
+   applied directly, between the two System.run legs, so the window
+   boundary and the fault coincide. *)
+let bench_cell ~seed ~duration ~name ~fleeted ~wipe =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Inject.disarm ();
+  let config = { System.default_config with seed; main_memory_mb = 2 } in
+  let sys = System.create ~config () in
+  let fleet_and_nodes =
+    if not fleeted then None
+    else begin
+      let nodes =
+        List.init node_count (fun i ->
+            let nm = node_name i in
+            let link =
+              Usnet.Link.create ~name:nm
+                ~params:Usnet.Net_params.fast_ethernet (System.sim sys)
+            in
+            let remote =
+              Tier.Remote_node.create ~capacity_pages:bench_capacity ()
+            in
+            (nm, remote, link))
+      in
+      Some (Tier.Fleet.create ~seed ~replicas:2 ~nodes (System.sim sys), nodes)
+    end
+  in
+  let store = ref None in
+  let backing =
+    match fleet_and_nodes with
+    | None -> None
+    | Some (fleet, _) ->
+        let clients =
+          match
+            Tier.Fleet.admit_clients fleet ~name:"bench.tier"
+              ~period:(Time.ms 20) ~slice:(Time.ms 5) ~extra:true
+              ~laxity:(Time.of_ms_float 2.0) ()
+          with
+          | Ok cs -> cs
+          | Error e ->
+              failwith ("failover: " ^ Usnet.Link.admit_error_message e)
+        in
+        Some
+          (fun swap ->
+            let s =
+              Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
+                ~swap ()
+            in
+            store := Some s;
+            Tier.Fleet.backing s)
+  in
+  let app =
+    start_app sys ~name:"bench" ~pattern:Workload.Paging_app.Hotspot ?backing
+      ()
+  in
+  let half = Time.ns (Time.to_ns duration / 2) in
+  System.run ~until:half sys;
+  let snap () =
+    match Obs.Metrics.hist_view ~label:"bench" "fault.latency_us" with
+    | Some v -> (v.Obs.Metrics.hv_count, v.Obs.Metrics.hv_mean)
+    | None -> (0, nan)
+  in
+  let c1, m1 = snap () in
+  (match (wipe, fleet_and_nodes) with
+  | true, Some (_, nodes) ->
+      let _, remote, _ = List.nth nodes 0 in
+      Tier.Remote_node.wipe remote
+  | _ -> ());
+  System.run ~until:duration sys;
+  let c2, m2 = snap () in
+  let half2 =
+    if c2 > c1 then
+      (((m2 *. float_of_int c2) -. (m1 *. float_of_int c1))
+      /. float_of_int (c2 - c1))
+    else nan
+  in
+  let fs =
+    match fleet_and_nodes with
+    | Some (fleet, _) -> Tier.Fleet.stats fleet
+    | None ->
+        { Tier.Fleet.stores = 0; acks = 0; replica_skips = 0;
+          replica_timeouts = 0; remote_fulls = 0; lost_primaries = 0;
+          failovers = 0; rebuilds = 0; disk_fallbacks = 0;
+          secondary_rebuilds = 0; retransmits = 0; quarantines = 0;
+          readmissions = 0; probes = 0; probe_failures = 0;
+          wipes_applied = 0; repair_rounds = 0 }
+  in
+  let hits =
+    match !store with
+    | Some s -> (Tier.Fleet.store_stats s).Tier.Fleet.st_fleet_hits
+    | None -> 0
+  in
+  { bc_name = name;
+    bc_accesses = Workload.Paging_app.measured_accesses app;
+    bc_mean_us = m2;
+    bc_half2_mean_us = half2;
+    bc_fleet_hits = hits;
+    bc_failovers = fs.Tier.Fleet.failovers;
+    bc_rebuilds = fs.Tier.Fleet.rebuilds }
+
+let bench ?(seed = 42) ?(duration = Time.sec 30) () =
+  let disk = bench_cell ~seed ~duration ~name:"disk" ~fleeted:false ~wipe:false in
+  let healthy =
+    bench_cell ~seed ~duration ~name:"fleet" ~fleeted:true ~wipe:false
+  in
+  let wiped =
+    bench_cell ~seed ~duration ~name:"fleet_wipe" ~fleeted:true ~wipe:true
+  in
+  let degradation =
+    if
+      Float.is_nan healthy.bc_half2_mean_us
+      || Float.is_nan wiped.bc_half2_mean_us
+      || healthy.bc_half2_mean_us <= 0.
+    then nan
+    else wiped.bc_half2_mean_us /. healthy.bc_half2_mean_us
+  in
+  let okv =
+    (not (Float.is_nan degradation))
+    && degradation <= 2.0
+    && (not (Float.is_nan disk.bc_half2_mean_us))
+    && disk.bc_half2_mean_us >= 5.0 *. wiped.bc_half2_mean_us
+  in
+  { b_seed = seed;
+    b_duration = duration;
+    b_cells = [ disk; healthy; wiped ];
+    b_healthy_us = healthy.bc_half2_mean_us;
+    b_postwipe_us = wiped.bc_half2_mean_us;
+    b_disk_us = disk.bc_half2_mean_us;
+    b_degradation = degradation;
+    b_ok = okv }
+
+let bench_print r =
+  Report.heading "Failover benchmark: post-wipe latency vs healthy fleet";
+  Printf.printf
+    "seed %d, %.0f s per cell, hotspot; wipe (if any) at T/2; second-half \
+     windows compared\n\n"
+    r.b_seed (Time.to_sec r.b_duration);
+  Report.table
+    ~header:
+      [ "cell"; "accesses"; "mean us"; "2nd-half us"; "fleet hits";
+        "failovers"; "rebuilds" ]
+    (List.map
+       (fun c ->
+         [ c.bc_name; string_of_int c.bc_accesses; us c.bc_mean_us;
+           us c.bc_half2_mean_us; string_of_int c.bc_fleet_hits;
+           string_of_int c.bc_failovers; string_of_int c.bc_rebuilds ])
+       r.b_cells);
+  print_newline ();
+  Printf.printf
+    "post-wipe %.0f us vs healthy %.0f us (%.2fx) vs disk %.0f us — %s\n"
+    r.b_postwipe_us r.b_healthy_us r.b_degradation r.b_disk_us
+    (if r.b_ok then "no disk-fallback cliff" else "CLIFF (or degraded > 2x)")
+
+let bench_to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.b_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.b_duration));
+  let j f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
+  let cell c =
+    Printf.sprintf
+      "{\"cell\": %S, \"accesses\": %d, \"mean_us\": %s, \"half2_mean_us\": \
+       %s, \"fleet_hits\": %d, \"failovers\": %d, \"rebuilds\": %d}"
+      c.bc_name c.bc_accesses (j c.bc_mean_us) (j c.bc_half2_mean_us)
+      c.bc_fleet_hits c.bc_failovers c.bc_rebuilds
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"cells\": [%s],\n"
+       (String.concat ", " (List.map cell r.b_cells)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"healthy_us\": %s, \"postwipe_us\": %s, \"disk_us\": %s,\n"
+       (j r.b_healthy_us) (j r.b_postwipe_us) (j r.b_disk_us));
+  Buffer.add_string b
+    (Printf.sprintf "  \"degradation\": %s,\n"
+       (if Float.is_nan r.b_degradation then "null"
+        else Printf.sprintf "%.3f" r.b_degradation));
+  Buffer.add_string b (Printf.sprintf "  \"ok\": %b\n" r.b_ok);
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -37,7 +37,8 @@ let patterns =
 let zero_stats =
   { Tier.Store.cache_hits = 0; remote_hits = 0; remote_misses = 0;
     promotes = 0; demotes = 0; remote_fulls = 0; drops_seen = 0;
-    delays_seen = 0; retransmits = 0; drop_losses = 0; transfer_fails = 0;
+    delays_seen = 0; retransmits = 0; retx_delays = []; drop_losses = 0;
+    transfer_fails = 0;
     clean_aborts = 0; disk_fallbacks = 0; link_lost_slots = 0;
     lost_slots = 0 }
 
@@ -51,6 +52,7 @@ let add_stats a b =
     drops_seen = a.Tier.Store.drops_seen + b.Tier.Store.drops_seen;
     delays_seen = a.Tier.Store.delays_seen + b.Tier.Store.delays_seen;
     retransmits = a.Tier.Store.retransmits + b.Tier.Store.retransmits;
+    retx_delays = a.Tier.Store.retx_delays @ b.Tier.Store.retx_delays;
     drop_losses = a.Tier.Store.drop_losses + b.Tier.Store.drop_losses;
     transfer_fails = a.Tier.Store.transfer_fails + b.Tier.Store.transfer_fails;
     clean_aborts = a.Tier.Store.clean_aborts + b.Tier.Store.clean_aborts;
@@ -216,13 +218,15 @@ let to_json r =
        "  \"tier\": {\"cache_hits\": %d, \"remote_hits\": %d, \
         \"remote_misses\": %d, \"promotes\": %d, \"demotes\": %d, \
         \"remote_fulls\": %d, \"drops_seen\": %d, \"delays_seen\": %d, \
-        \"retransmits\": %d, \"drop_losses\": %d, \"transfer_fails\": %d, \
-        \"clean_aborts\": %d, \"disk_fallbacks\": %d, \"link_lost_slots\": \
-        %d, \"lost_slots\": %d},\n"
+        \"retransmits\": %d, \"retx_backoff_ms\": %.3f, \"drop_losses\": \
+        %d, \"transfer_fails\": %d, \"clean_aborts\": %d, \
+        \"disk_fallbacks\": %d, \"link_lost_slots\": %d, \"lost_slots\": \
+        %d},\n"
        t.Tier.Store.cache_hits t.Tier.Store.remote_hits
        t.Tier.Store.remote_misses t.Tier.Store.promotes t.Tier.Store.demotes
        t.Tier.Store.remote_fulls t.Tier.Store.drops_seen
        t.Tier.Store.delays_seen t.Tier.Store.retransmits
+       (Time.to_ms (List.fold_left ( + ) 0 t.Tier.Store.retx_delays))
        t.Tier.Store.drop_losses t.Tier.Store.transfer_fails
        t.Tier.Store.clean_aborts t.Tier.Store.disk_fallbacks
        t.Tier.Store.link_lost_slots t.Tier.Store.lost_slots);

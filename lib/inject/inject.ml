@@ -47,6 +47,13 @@ type crash_point = {
   cp_len : int;
 }
 
+type node_fault = {
+  nf_node : string;
+  nf_wipe_at : Time.t option;
+  nf_crash_at : Time.t option;
+  nf_partitions : (Time.t * Time.t) list;
+}
+
 type plan = {
   seed : int;
   blok_faults : blok_fault list;
@@ -57,6 +64,7 @@ type plan = {
   pressure : pressure option;
   zpool_pressure : zpool_pressure option;
   crashes : crash_point list;
+  node_faults : node_fault list;
 }
 
 let default_plan =
@@ -70,6 +78,7 @@ let default_plan =
     pressure = None;
     zpool_pressure = None;
     crashes = [];
+    node_faults = [];
   }
 
 let enabled = ref false
@@ -84,6 +93,11 @@ let transient_left : (blok_fault, int) Hashtbl.t = Hashtbl.create 7
    most once per arm/reset, keyed by its position in the list. *)
 let crash_fired : (int, unit) Hashtbl.t = Hashtbl.create 7
 
+(* Node faults are tallied once each: a wipe / crash / partition window
+   bumps its counter the first time a hook observes it, keyed by
+   ["wipe:<node>"], ["crash:<node>"] or ["part:<node>:<i>"]. *)
+let node_fired : (string, unit) Hashtbl.t = Hashtbl.create 7
+
 type tally = {
   injected_errors : int;
   spikes : int;
@@ -92,6 +106,9 @@ type tally = {
   chan_delays : int;
   link_drops : int;
   link_delays : int;
+  node_wipes : int;
+  node_crashes : int;
+  node_partitions : int;
   pressure_bursts : int;
   zpool_bursts : int;
   crashes : int;
@@ -110,6 +127,9 @@ let zero_tally =
     chan_delays = 0;
     link_drops = 0;
     link_delays = 0;
+    node_wipes = 0;
+    node_crashes = 0;
+    node_partitions = 0;
     pressure_bursts = 0;
     zpool_bursts = 0;
     crashes = 0;
@@ -133,6 +153,7 @@ let reset () =
   counts := zero_tally;
   Hashtbl.reset transient_left;
   Hashtbl.reset crash_fired;
+  Hashtbl.reset node_fired;
   Hashtbl.reset classes;
   List.iter
     (fun bf ->
@@ -291,6 +312,88 @@ let link ~name =
           Delay lf.lf_delay_span
         end
         else Deliver
+
+(* -- node faults ------------------------------------------------------ *)
+
+let node_plan name =
+  List.find_opt (fun nf -> nf.nf_node = name) !the_plan.node_faults
+
+let fire_once key bump =
+  if not (Hashtbl.mem node_fired key) then begin
+    Hashtbl.replace node_fired key ();
+    bump ()
+  end
+
+(* Reachability is consulted per packet by the replicated tier: a
+   crashed node is gone from its crash time on; a partitioned node is
+   unreachable inside each window and answers again after it. Each
+   fault is tallied once, on first observation. *)
+let node_reachable ~name ~now =
+  if not !enabled then true
+  else
+    match node_plan name with
+    | None -> true
+    | Some nf ->
+        let crashed =
+          match nf.nf_crash_at with Some t -> now >= t | None -> false
+        in
+        if crashed then begin
+          fire_once ("crash:" ^ name) (fun () ->
+              counts :=
+                { !counts with node_crashes = !counts.node_crashes + 1 };
+              bump_class ("node.crash." ^ name);
+              metric "node_crashes");
+          false
+        end
+        else
+          let rec partitioned i = function
+            | [] -> false
+            | (a, b) :: rest ->
+                if now >= a && now < b then begin
+                  fire_once
+                    (Printf.sprintf "part:%s:%d" name i)
+                    (fun () ->
+                      counts :=
+                        { !counts with
+                          node_partitions = !counts.node_partitions + 1 };
+                      bump_class ("node.partition." ^ name);
+                      metric "node_partitions");
+                  true
+                end
+                else partitioned (i + 1) rest
+          in
+          not (partitioned 0 nf.nf_partitions)
+
+(* One-shot: the first consultation at/after the wipe (or crash —
+   a crashed node loses its RAM contents too) answers [true] and the
+   caller must empty the node's pool. *)
+let node_wipe_due ~name ~now =
+  if not !enabled then false
+  else
+    match node_plan name with
+    | None -> false
+    | Some nf ->
+        let due kind bump_it = function
+          | Some t when now >= t ->
+              let key = kind ^ ":" ^ name in
+              if Hashtbl.mem node_fired key then false
+              else begin
+                Hashtbl.replace node_fired key ();
+                bump_it ();
+                true
+              end
+          | _ -> false
+        in
+        let wiped =
+          due "wipe"
+            (fun () ->
+              counts := { !counts with node_wipes = !counts.node_wipes + 1 };
+              bump_class ("node.wipe." ^ name);
+              metric "node_wipes")
+            nf.nf_wipe_at
+        in
+        let crashed = due "crashwipe" (fun () -> ()) nf.nf_crash_at in
+        wiped || crashed
 
 let pressure () = if not !enabled then None else !the_plan.pressure
 

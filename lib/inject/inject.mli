@@ -99,6 +99,21 @@ type crash_point = {
     observes a crash. Each point fires at most once per {!arm} /
     {!reset}. *)
 
+type node_fault = {
+  nf_node : string;  (** the remote node's link name ({!Usnet.Link.name}) *)
+  nf_wipe_at : Time.t option;
+      (** node RAM contents lost at this virtual time (node stays up) *)
+  nf_crash_at : Time.t option;
+      (** node gone for good from this time on (contents lost too) *)
+  nf_partitions : (Time.t * Time.t) list;
+      (** [[(from, until); ...]] windows during which the node is
+          unreachable; contents survive and it answers again after *)
+}
+(** Node-scoped faults for the replicated remote tier: a node can be
+    wiped (amnesia), crashed (permanent loss) or partitioned away for
+    a window. All three are driven by virtual time, not dice, so a
+    plan names exactly which node fails when. *)
+
 type plan = {
   seed : int;
   blok_faults : blok_fault list;
@@ -109,6 +124,7 @@ type plan = {
   pressure : pressure option;  (** consumed by the chaos gremlin *)
   zpool_pressure : zpool_pressure option;  (** consumed by [Share.Zpool] *)
   crashes : crash_point list;
+  node_faults : node_fault list;  (** consumed by [Tier.Fleet] *)
 }
 
 val default_plan : plan
@@ -155,6 +171,19 @@ val link : name:string -> chan_outcome
     are answered by the tier layer's own books, not the
     {!accounted} equation. *)
 
+val node_reachable : name:string -> now:Time.t -> bool
+(** Consulted per packet by the replicated tier: [false] while the
+    named node is crashed (from [nf_crash_at] on) or inside a
+    partition window — the packet is lost and the sender must
+    retransmit, fail over or quarantine. Each crash and each
+    partition window is tallied once, on first observation. *)
+
+val node_wipe_due : name:string -> now:Time.t -> bool
+(** One-shot per arm/reset (separately for wipe and crash): [true] on
+    the first consultation at/after the node's [nf_wipe_at] (or
+    [nf_crash_at] — a crashed node loses its contents too), and the
+    caller must empty the node's page pool. *)
+
 val pressure : unit -> pressure option
 
 val zpool_pressure : unit -> zpool_pressure option
@@ -190,6 +219,9 @@ type tally = {
   chan_delays : int;
   link_drops : int;  (** packets lost on an injected lossy link *)
   link_delays : int;
+  node_wipes : int;  (** node wipes applied (amnesia, node stays up) *)
+  node_crashes : int;  (** nodes gone for good *)
+  node_partitions : int;  (** partition windows entered *)
   pressure_bursts : int;
   zpool_bursts : int;  (** compressed-tier budget-shrink bursts fired *)
   crashes : int;  (** crash points fired (torn writes) *)

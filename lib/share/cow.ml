@@ -77,10 +77,19 @@ type tenant = {
   mutable c_detached : int;
 }
 
+exception Not_bound of { driver : string }
+
+(* Typed per the PR 5 convention; the printer renders the exact
+   string the old [failwith] escape produced. *)
+let () =
+  Printexc.register_printer (function
+    | Not_bound { driver } -> Some (driver ^ ": driver not bound")
+    | _ -> None)
+
 let the_stretch c =
   match c.c_stretch with
   | Some s -> s
-  | None -> failwith "Cow: driver not bound"
+  | None -> raise (Not_bound { driver = "Cow" })
 
 let metric c name =
   if !Obs.enabled then

@@ -29,6 +29,12 @@
 
 open Core
 
+exception Not_bound of { driver : string }
+(** A CoW driver was consulted before the system bound its stretch —
+    a wiring bug, not a runtime condition. Typed per the PR 5
+    convention: the registered printer renders the legacy
+    ["Cow: driver not bound"] string. *)
+
 (** {2 Template} *)
 
 type template

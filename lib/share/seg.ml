@@ -44,10 +44,19 @@ type attachment = {
   mutable a_hits : int;
 }
 
+exception Not_bound of { driver : string }
+
+(* Typed per the PR 5 convention; the printer renders the exact
+   string the old [failwith] escape produced. *)
+let () =
+  Printexc.register_printer (function
+    | Not_bound { driver } -> Some (driver ^ ": driver not bound")
+    | _ -> None)
+
 let the_stretch a =
   match a.a_stretch with
   | Some s -> s
-  | None -> failwith "Seg: driver not bound"
+  | None -> raise (Not_bound { driver = "Seg" })
 
 let metric a name =
   if !Obs.enabled then

@@ -20,6 +20,12 @@ open Core
 
 type t
 
+exception Not_bound of { driver : string }
+(** An attachment's driver was consulted before the system bound its
+    stretch — a wiring bug, not a runtime condition. Typed per the
+    PR 5 convention: the registered printer renders the legacy
+    ["Seg: driver not bound"] string. *)
+
 val create :
   reg:Registry.t -> name:string -> npages:int -> ?fill:Time.span ->
   unit -> t

@@ -1,0 +1,874 @@
+open Engine
+
+let page_bytes = 8192 (* mirrors Store; one page on the wire *)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+type node = {
+  nd_idx : int;
+  nd_name : string;
+  nd_remote : Remote_node.t;
+  nd_link : Usnet.Link.t;
+  nd_repair : Usnet.Link.client; (* fleet-owned probe/repair client *)
+  mutable nd_streak : int; (* consecutive timeouts *)
+  mutable nd_quarantined : bool;
+  mutable nd_next_probe : Time.t;
+  mutable nd_quarantines : int;
+  mutable nd_readmissions : int;
+}
+
+type t = {
+  sim : Sim.t;
+  seed : int;
+  replicas : int;
+  quarantine_after : int;
+  probe_period : Time.span;
+  repair_period : Time.span;
+  repair_budget : int;
+  link_retries : int;
+  retx_timeout : Time.span;
+  nodes : node array;
+  (* the placement book: pages the fleet believes it holds, keyed by
+     [(owner, slot)], mapped to the replica node indices (primary
+     first). Recorded only when at least one node acked the copy. *)
+  pages : (string * int, int array) Hashtbl.t;
+  mutable s_stores : int;
+  mutable s_acks : int;
+  mutable s_replica_skips : int;
+  mutable s_replica_timeouts : int;
+  mutable s_remote_fulls : int;
+  mutable s_lost_primaries : int;
+  mutable s_failovers : int;
+  mutable s_rebuilds : int;
+  mutable s_disk_fallbacks : int;
+  mutable s_secondary_rebuilds : int;
+  mutable s_retransmits : int;
+  mutable s_quarantines : int;
+  mutable s_readmissions : int;
+  mutable s_probes : int;
+  mutable s_probe_failures : int;
+  mutable s_wipes_applied : int;
+  mutable s_repair_rounds : int;
+}
+
+type stats = {
+  stores : int;
+  acks : int;
+  replica_skips : int;
+  replica_timeouts : int;
+  remote_fulls : int;
+  lost_primaries : int;
+  failovers : int;
+  rebuilds : int;
+  disk_fallbacks : int;
+  secondary_rebuilds : int;
+  retransmits : int;
+  quarantines : int;
+  readmissions : int;
+  probes : int;
+  probe_failures : int;
+  wipes_applied : int;
+  repair_rounds : int;
+}
+
+type node_health = {
+  nh_name : string;
+  nh_used : int;
+  nh_capacity : int;
+  nh_quarantined : bool;
+  nh_streak : int;
+  nh_quarantines : int;
+  nh_readmissions : int;
+}
+
+type store = {
+  fl : t;
+  mode : Store.mode;
+  label : string;
+  swap : Usbs.Sfs.swapfile;
+  clients : Usnet.Link.client array; (* one per node, node order *)
+  owner : string;
+  cache_cap : int;
+  lru : int Ilist.t; (* front = least recently used *)
+  lnodes : (int, int Ilist.node) Hashtbl.t;
+  evicting : (int, unit) Hashtbl.t;
+  disk_valid : bool array;
+  dead : bool array;
+  mutable sx_cache_hits : int;
+  mutable sx_fleet_hits : int;
+  mutable sx_fleet_misses : int;
+  mutable sx_promotes : int;
+  mutable sx_demotes : int;
+  mutable sx_write_fallbacks : int;
+  mutable sx_clean_skips : int;
+  mutable sx_lost_slots : int;
+}
+
+type store_stats = {
+  st_cache_hits : int;
+  st_fleet_hits : int;
+  st_fleet_misses : int;
+  st_promotes : int;
+  st_demotes : int;
+  st_write_fallbacks : int;
+  st_clean_skips : int;
+  st_lost_slots : int;
+}
+
+let metric name = if !Obs.enabled then Obs.Metrics.inc ("fleet." ^ name)
+
+let smetric st name =
+  if !Obs.enabled then Obs.Metrics.inc ~label:st.owner ("fleet." ^ name)
+
+let node_gauges nd =
+  if !Obs.enabled then begin
+    let g n v = Obs.Metrics.set_gauge ~label:nd.nd_name ("fleet.node." ^ n) v in
+    g "used_pages" (float_of_int (Remote_node.used_pages nd.nd_remote));
+    g "quarantined" (if nd.nd_quarantined then 1.0 else 0.0);
+    g "streak" (float_of_int nd.nd_streak)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Placement: seeded rendezvous (highest-random-weight) hashing        *)
+
+(* A splitmix-style finaliser over the 63-bit int; constants fit in
+   OCaml's native int. Deterministic in its argument alone. *)
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x4cf5ad432745937 land max_int in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x1d8e4e27c47d124 land max_int in
+  x lxor (x lsr 31)
+
+let weight t ~node_name ~owner ~slot =
+  mix
+    (mix (t.seed lxor Hashtbl.hash node_name)
+    lxor (Hashtbl.hash owner * 0x9e3779b9)
+    lxor (slot * 0x85ebca6b))
+
+(* Every node scores the page; the R highest win, the highest is
+   primary. A pure function of (seed, node names, owner, slot), so a
+   restarted fleet over the same nodes recomputes the same book. *)
+let placement t ~owner ~slot =
+  let scored =
+    Array.map
+      (fun nd -> (weight t ~node_name:nd.nd_name ~owner ~slot, nd.nd_idx))
+      t.nodes
+  in
+  Array.sort (fun (wa, ia) (wb, ib) -> compare (wb, ib) (wa, ia)) scored;
+  Array.init t.replicas (fun i -> snd scored.(i))
+
+let node_names t = Array.map (fun nd -> nd.nd_name) t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Node health                                                         *)
+
+let quarantine t nd =
+  if not nd.nd_quarantined then begin
+    nd.nd_quarantined <- true;
+    nd.nd_quarantines <- nd.nd_quarantines + 1;
+    t.s_quarantines <- t.s_quarantines + 1;
+    nd.nd_next_probe <- Time.add (Sim.now t.sim) t.probe_period;
+    metric "quarantine";
+    node_gauges nd
+  end
+
+let note_timeout t nd =
+  nd.nd_streak <- nd.nd_streak + 1;
+  if nd.nd_streak >= t.quarantine_after then quarantine t nd
+
+let note_ok nd = nd.nd_streak <- 0
+
+let readmit t nd =
+  nd.nd_quarantined <- false;
+  nd.nd_streak <- 0;
+  nd.nd_readmissions <- nd.nd_readmissions + 1;
+  t.s_readmissions <- t.s_readmissions + 1;
+  metric "readmit";
+  node_gauges nd
+
+(* Wipes are applied lazily: before any fleet operation consults a
+   node's contents, honour any pending {!Inject.node_wipe_due} (a
+   crash implies a wipe — the RAM went with the node). *)
+let poll_wipes t =
+  let now = Sim.now t.sim in
+  Array.iter
+    (fun nd ->
+      if Inject.node_wipe_due ~name:nd.nd_name ~now then begin
+        Remote_node.wipe nd.nd_remote;
+        t.s_wipes_applied <- t.s_wipes_applied + 1;
+        metric "wipe";
+        node_gauges nd
+      end)
+    t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Link transfers                                                      *)
+
+(* MTU-sized fragments of one page, smallest last (per node link). *)
+let fragments nd =
+  let mtu = (Usnet.Link.params nd.nd_link).Usnet.Net_params.mtu in
+  let n = (page_bytes + mtu - 1) / mtu in
+  List.init n (fun i ->
+      if i = n - 1 then page_bytes - ((n - 1) * mtu) else mtu)
+
+(* One packet towards [nd] on [client]. The transmit burns the
+   client's slice whether or not the far end is reachable — the
+   sender cannot know — then the packet is lost if the node is
+   crashed/partitioned ({!Inject.node_reachable}) or the link's own
+   fault plan drops it. Lost packets retransmit on the
+   {!Store.backoff} ladder, [retries] times, then time out. *)
+let send_frag t nd client ~retries bytes =
+  let rec attempt left n =
+    match Usnet.Link.transmit nd.nd_link client ~bytes with
+    | Error `Retired -> Error `Timeout
+    | Ok () ->
+        let delivered =
+          Inject.node_reachable ~name:nd.nd_name ~now:(Sim.now t.sim)
+          &&
+          match Inject.link ~name:(Usnet.Link.name nd.nd_link) with
+          | Inject.Deliver -> true
+          | Inject.Delay d ->
+              Proc.sleep d;
+              true
+          | Inject.Drop -> false
+        in
+        if delivered then Ok ()
+        else begin
+          (* waited the ack deadline in vain *)
+          Proc.sleep t.retx_timeout;
+          if left > 0 then begin
+            t.s_retransmits <- t.s_retransmits + 1;
+            metric "retransmit";
+            Proc.sleep (Store.backoff ~base:t.retx_timeout ~attempt:n);
+            attempt (left - 1) (n + 1)
+          end
+          else Error `Timeout
+        end
+  in
+  attempt retries 0
+
+let send_frags t nd client ~retries frags =
+  let rec go = function
+    | [] -> Ok ()
+    | b :: rest -> (
+        match send_frag t nd client ~retries b with
+        | Ok () -> go rest
+        | Error _ as e -> e)
+  in
+  go frags
+
+(* Push one page to [nd]: fragments out, node service, store. Health
+   is noted here; the caller classifies the outcome. *)
+let push_page t nd client ~retries ~owner ~slot =
+  match send_frags t nd client ~retries (fragments nd) with
+  | Error `Timeout ->
+      note_timeout t nd;
+      `Timeout
+  | Ok () -> (
+      Proc.sleep (Remote_node.service_time nd.nd_remote);
+      note_ok nd;
+      match Remote_node.store nd.nd_remote ~owner ~slot with
+      | Ok () ->
+          t.s_acks <- t.s_acks + 1;
+          `Acked
+      | Error `Remote_full -> `Full)
+
+(* Pull one page back from [nd]: 64-byte request out, node service,
+   fragments back — all on [client]'s guarantee. [`Stale] is a miss
+   reply: the node answered (health-wise it is fine) but no longer
+   holds the copy. *)
+let fetch_page t nd client ~retries ~owner ~slot =
+  match send_frag t nd client ~retries 64 with
+  | Error `Timeout ->
+      note_timeout t nd;
+      `Timeout
+  | Ok () ->
+      Proc.sleep (Remote_node.service_time nd.nd_remote);
+      if not (Remote_node.holds nd.nd_remote ~owner ~slot) then begin
+        note_ok nd;
+        `Stale
+      end
+      else (
+        match send_frags t nd client ~retries (fragments nd) with
+        | Ok () ->
+            note_ok nd;
+            `Ok
+        | Error `Timeout ->
+            note_timeout t nd;
+            `Timeout)
+
+(* ------------------------------------------------------------------ *)
+(* Probe / repair                                                      *)
+
+let probe t nd =
+  t.s_probes <- t.s_probes + 1;
+  metric "probe";
+  match send_frag t nd nd.nd_repair ~retries:0 64 with
+  | Ok () ->
+      Proc.sleep (Remote_node.service_time nd.nd_remote);
+      readmit t nd
+  | Error `Timeout ->
+      t.s_probe_failures <- t.s_probe_failures + 1;
+      nd.nd_next_probe <- Time.add (Sim.now t.sim) t.probe_period
+
+let probe_due t =
+  let now = Sim.now t.sim in
+  Array.iter
+    (fun nd -> if nd.nd_quarantined && now >= nd.nd_next_probe then probe t nd)
+    t.nodes
+
+(* Rebuild one copy: read it from [src], write it to [dst], both over
+   the fleet's own repair clients. The placement book is re-checked
+   after the transfers — the owning domain may have overwritten the
+   page while the copy was on the wire, in which case the rebuilt
+   bytes are stale and must not be stored. *)
+let repair_copy t ~src ~dst ~owner ~slot =
+  match fetch_page t src src.nd_repair ~retries:t.link_retries ~owner ~slot with
+  | (`Timeout | `Stale) as e -> e
+  | `Ok -> (
+      if not (Hashtbl.mem t.pages (owner, slot)) then `Stale
+      else
+        match
+          push_page t dst dst.nd_repair ~retries:t.link_retries ~owner ~slot
+        with
+        | `Acked ->
+            t.s_stores <- t.s_stores + 1;
+            metric "store";
+            `Acked
+        | (`Full | `Timeout) as e -> e)
+
+let repair_round t =
+  t.s_repair_rounds <- t.s_repair_rounds + 1;
+  poll_wipes t;
+  probe_due t;
+  let budget = ref t.repair_budget in
+  (* deterministic scan order regardless of hash-table internals *)
+  let book =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pages []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((owner, slot), reps) ->
+      if !budget > 0 then begin
+        let holds i =
+          Remote_node.holds t.nodes.(i).nd_remote ~owner ~slot
+        in
+        let live i = not t.nodes.(i).nd_quarantined in
+        match Array.to_list reps |> List.filter (fun i -> live i && holds i) with
+        | [] -> () (* no reachable survivor; the read path answers *)
+        | src_idx :: _ ->
+            let src = t.nodes.(src_idx) in
+            Array.iter
+              (fun i ->
+                if !budget > 0 && live i && not (holds i) then begin
+                  decr budget;
+                  match
+                    repair_copy t ~src ~dst:t.nodes.(i) ~owner ~slot
+                  with
+                  | `Acked ->
+                      if i = reps.(0) then begin
+                        (* the primary was gone and repair answered *)
+                        t.s_lost_primaries <- t.s_lost_primaries + 1;
+                        t.s_rebuilds <- t.s_rebuilds + 1;
+                        metric "rebuild"
+                      end
+                      else begin
+                        t.s_secondary_rebuilds <- t.s_secondary_rebuilds + 1;
+                        metric "secondary_rebuild"
+                      end
+                  | `Full | `Timeout | `Stale -> ()
+                end)
+              reps
+      end)
+    book;
+  Array.iter (node_gauges) t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ?(replicas = 2) ?(quarantine_after = 3)
+    ?(probe_period = Time.ms 50) ?(repair_period = Time.ms 25)
+    ?(repair_budget = 8) ?(link_retries = 3) ?(retx_timeout = Time.ms 1)
+    ?(repair_qos = (Time.ms 20, Time.ms 2)) ?(repair = true) ~seed ~nodes sim =
+  if nodes = [] then invalid_arg "Fleet.create: empty node list";
+  if replicas < 1 then invalid_arg "Fleet.create: replicas must be >= 1";
+  if quarantine_after < 1 then
+    invalid_arg "Fleet.create: quarantine_after must be >= 1";
+  let period, slice = repair_qos in
+  let mk_node i (name, remote, link) =
+    if name <> Usnet.Link.name link then
+      invalid_arg
+        (Printf.sprintf "Fleet.create: node %s does not match its link %s"
+           name (Usnet.Link.name link));
+    let repair_client =
+      match
+        Usnet.Link.admit link ~name:(name ^ ".repair") ~period ~slice
+          ~extra:true ()
+      with
+      | Ok c -> c
+      | Error e ->
+          invalid_arg
+            ("Fleet.create: repair client refused: "
+            ^ Usnet.Link.admit_error_message e)
+    in
+    { nd_idx = i;
+      nd_name = name;
+      nd_remote = remote;
+      nd_link = link;
+      nd_repair = repair_client;
+      nd_streak = 0;
+      nd_quarantined = false;
+      nd_next_probe = Time.zero;
+      nd_quarantines = 0;
+      nd_readmissions = 0 }
+  in
+  let t =
+    { sim;
+      seed;
+      replicas = min replicas (List.length nodes);
+      quarantine_after;
+      probe_period;
+      repair_period;
+      repair_budget;
+      link_retries;
+      retx_timeout;
+      nodes = Array.of_list (List.mapi mk_node nodes);
+      pages = Hashtbl.create 256;
+      s_stores = 0;
+      s_acks = 0;
+      s_replica_skips = 0;
+      s_replica_timeouts = 0;
+      s_remote_fulls = 0;
+      s_lost_primaries = 0;
+      s_failovers = 0;
+      s_rebuilds = 0;
+      s_disk_fallbacks = 0;
+      s_secondary_rebuilds = 0;
+      s_retransmits = 0;
+      s_quarantines = 0;
+      s_readmissions = 0;
+      s_probes = 0;
+      s_probe_failures = 0;
+      s_wipes_applied = 0;
+      s_repair_rounds = 0 }
+  in
+  if repair then
+    ignore
+      (Proc.spawn ~name:"fleet.repair" sim (fun () ->
+           let rec loop () =
+             Proc.sleep t.repair_period;
+             repair_round t;
+             loop ()
+           in
+           loop ()));
+  t
+
+let admit_clients t ~name ~period ~slice ?extra ?queue_depth ?laxity () =
+  let admitted = ref [] in
+  let rec go i =
+    if i = Array.length t.nodes then
+      Ok (Array.of_list (List.rev !admitted))
+    else
+      let nd = t.nodes.(i) in
+      match
+        Usnet.Link.admit nd.nd_link
+          ~name:(name ^ "@" ^ nd.nd_name)
+          ~period ~slice ?extra ?queue_depth ?laxity ()
+      with
+      | Ok c ->
+          admitted := c :: !admitted;
+          go (i + 1)
+      | Error e ->
+          List.iteri
+            (fun j c -> Usnet.Link.retire t.nodes.(i - 1 - j).nd_link c)
+            !admitted;
+          Error e
+  in
+  go 0
+
+let attach ?(mode = Store.Write_through) ?(cache_pages = 32)
+    ?(label = "fleet") t ~clients ~swap () =
+  if cache_pages < 1 then invalid_arg "Fleet.attach: cache_pages must be >= 1";
+  if Array.length clients <> Array.length t.nodes then
+    invalid_arg "Fleet.attach: need one admitted client per node";
+  let cap = Usbs.Sfs.page_capacity swap in
+  { fl = t;
+    mode;
+    label;
+    swap;
+    clients;
+    owner = Usbs.Sfs.swap_name swap;
+    cache_cap = cache_pages;
+    lru = Ilist.create ();
+    lnodes = Hashtbl.create 64;
+    evicting = Hashtbl.create 8;
+    disk_valid = Array.make (max 1 cap) true;
+    dead = Array.make (max 1 cap) false;
+    sx_cache_hits = 0;
+    sx_fleet_hits = 0;
+    sx_fleet_misses = 0;
+    sx_promotes = 0;
+    sx_demotes = 0;
+    sx_write_fallbacks = 0;
+    sx_clean_skips = 0;
+    sx_lost_slots = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Local RAM tier (LRU over slot indices, as in Store)                 *)
+
+let cached st s = Hashtbl.mem st.lnodes s
+
+let touch st s =
+  match Hashtbl.find_opt st.lnodes s with
+  | Some n -> Ilist.move_back st.lru n
+  | None -> ()
+
+let drop_cache st s =
+  match Hashtbl.find_opt st.lnodes s with
+  | Some n ->
+      Ilist.remove st.lru n;
+      Hashtbl.remove st.lnodes s
+  | None -> ()
+
+let tracked st s = Hashtbl.mem st.fl.pages (st.owner, s)
+
+(* Fresh contents for a slot: every replica copy is stale. The drops
+   are metadata at the nodes; the placement-book entry goes with
+   them, so the fleet never serves the old bytes. *)
+let drop_fleet st s =
+  match Hashtbl.find_opt st.fl.pages (st.owner, s) with
+  | Some reps ->
+      Array.iter
+        (fun i ->
+          Remote_node.drop st.fl.nodes.(i).nd_remote ~owner:st.owner ~slot:s)
+        reps;
+      Hashtbl.remove st.fl.pages (st.owner, s)
+  | None -> ()
+
+(* Same duty as Store.disk_write_slot: a dirty page no node accepted
+   lands on the disk; if the disk eats the write too the fleet held
+   the last copy and the slot is dead. *)
+let disk_write_slot st s =
+  match Usbs.Sfs.write_page st.swap ~page_index:s with
+  | Ok () -> st.disk_valid.(s) <- true
+  | Error (`Lost_pages _) ->
+      Inject.note_killed "fleet.demote";
+      st.dead.(s) <- true;
+      st.sx_lost_slots <- st.sx_lost_slots + 1
+  | Error (`Retired | `Crashed) -> ()
+
+(* Push one evicted slot to its replica set. Inclusive with the
+   fleet: a slot already in the placement book just leaves the
+   cache. Quarantined replicas are skipped (repair rebuilds them);
+   the eviction succeeds if at least one node acked. *)
+let demote st s =
+  if (not (tracked st s)) && not st.dead.(s) then begin
+    let t = st.fl in
+    poll_wipes t;
+    let dirty = not st.disk_valid.(s) in
+    let reps = placement t ~owner:st.owner ~slot:s in
+    let placed = ref 0 in
+    Array.iter
+      (fun i ->
+        let nd = t.nodes.(i) in
+        if nd.nd_quarantined then
+          t.s_replica_skips <- t.s_replica_skips + 1
+        else if not (Remote_node.has_room nd.nd_remote) then begin
+          (* known-full before any byte moves, as in Store *)
+          t.s_remote_fulls <- t.s_remote_fulls + 1;
+          metric "remote_full"
+        end
+        else
+          match
+            push_page t nd st.clients.(i) ~retries:t.link_retries
+              ~owner:st.owner ~slot:s
+          with
+          | `Acked ->
+              incr placed;
+              t.s_stores <- t.s_stores + 1;
+              metric "store"
+          | `Full ->
+              t.s_remote_fulls <- t.s_remote_fulls + 1;
+              metric "remote_full"
+          | `Timeout -> t.s_replica_timeouts <- t.s_replica_timeouts + 1)
+      reps;
+    if !placed > 0 then begin
+      Hashtbl.replace t.pages (st.owner, s) reps;
+      st.sx_demotes <- st.sx_demotes + 1
+    end
+    else if dirty then begin
+      st.sx_write_fallbacks <- st.sx_write_fallbacks + 1;
+      disk_write_slot st s
+    end
+    else st.sx_clean_skips <- st.sx_clean_skips + 1
+  end
+
+let rec shrink st =
+  if Hashtbl.length st.lnodes > st.cache_cap then begin
+    let victim =
+      Ilist.fold
+        (fun acc s ->
+          match acc with
+          | Some _ -> acc
+          | None -> if Hashtbl.mem st.evicting s then None else Some s)
+        None st.lru
+    in
+    match victim with
+    | None -> ()
+    | Some s ->
+        Hashtbl.replace st.evicting s ();
+        demote st s;
+        Hashtbl.remove st.evicting s;
+        drop_cache st s;
+        shrink st
+  end
+
+let insert_cache st s =
+  if not st.dead.(s) then begin
+    if cached st s then touch st s
+    else begin
+      let n = Ilist.make_node s in
+      Hashtbl.replace st.lnodes s n;
+      Ilist.push_back st.lru n;
+      shrink st
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+
+(* Serve one tracked slot from the fleet: primary first, then the
+   surviving replicas in placement order. Exactly one of
+   failover/disk-fallback answers a lost primary here (rebuilds are
+   the repair process's entry). *)
+let fetch_fleet st s =
+  let t = st.fl in
+  poll_wipes t;
+  let reps = Hashtbl.find t.pages (st.owner, s) in
+  let try_node i =
+    let nd = t.nodes.(i) in
+    if nd.nd_quarantined then `Skip
+    else
+      fetch_page t nd st.clients.(i) ~retries:t.link_retries ~owner:st.owner
+        ~slot:s
+  in
+  match try_node reps.(0) with
+  | `Ok -> `Served
+  | `Skip | `Stale | `Timeout ->
+      t.s_lost_primaries <- t.s_lost_primaries + 1;
+      metric "lost_primary";
+      let rec failover k =
+        if k >= Array.length reps then `All_lost
+        else
+          match try_node reps.(k) with
+          | `Ok ->
+              t.s_failovers <- t.s_failovers + 1;
+              metric "failover";
+              `Served
+          | `Skip | `Stale | `Timeout -> failover (k + 1)
+      in
+      failover 1
+
+let read_pages st ~page_index ~npages =
+  let lost = ref [] in
+  let fatal = ref None in
+  let run_start = ref 0 and run_len = ref 0 in
+  (* coalesce consecutive disk-served slots into one SFS transaction *)
+  let flush_run () =
+    if !run_len > 0 then begin
+      (match
+         Usbs.Sfs.read_pages st.swap ~page_index:!run_start ~npages:!run_len
+       with
+      | Ok () ->
+          for s = !run_start to !run_start + !run_len - 1 do
+            insert_cache st s
+          done
+      | Error (`Lost_pages l) ->
+          for s = !run_start to !run_start + !run_len - 1 do
+            if List.mem s l then lost := s :: !lost else insert_cache st s
+          done
+      | Error ((`Retired | `Crashed) as e) -> fatal := Some e);
+      run_len := 0
+    end
+  in
+  let from_disk s =
+    if !run_len = 0 then begin
+      run_start := s;
+      run_len := 1
+    end
+    else run_len := !run_len + 1
+  in
+  let i = ref page_index in
+  while !fatal = None && !i < page_index + npages do
+    let s = !i in
+    if st.dead.(s) then begin
+      flush_run ();
+      lost := s :: !lost
+    end
+    else if cached st s then begin
+      flush_run ();
+      touch st s;
+      st.sx_cache_hits <- st.sx_cache_hits + 1;
+      smetric st "cache_hit"
+    end
+    else if tracked st s then begin
+      flush_run ();
+      match fetch_fleet st s with
+      | `Served ->
+          st.sx_fleet_hits <- st.sx_fleet_hits + 1;
+          smetric st "hit";
+          st.sx_promotes <- st.sx_promotes + 1;
+          (* inclusive: the replicas keep their copies *)
+          insert_cache st s
+      | `All_lost ->
+          st.fl.s_disk_fallbacks <- st.fl.s_disk_fallbacks + 1;
+          smetric st "disk_fallback";
+          if st.disk_valid.(s) then begin
+            from_disk s;
+            flush_run ()
+          end
+          else begin
+            st.sx_lost_slots <- st.sx_lost_slots + 1;
+            st.dead.(s) <- true;
+            lost := s :: !lost
+          end
+    end
+    else begin
+      st.sx_fleet_misses <- st.sx_fleet_misses + 1;
+      from_disk s
+    end;
+    incr i
+  done;
+  flush_run ();
+  match !fatal with
+  | Some (`Retired | `Crashed) as e -> Error (Option.get e)
+  | None ->
+      if !lost = [] then Ok () else Error (`Lost_pages (List.rev !lost))
+
+(* ------------------------------------------------------------------ *)
+(* Writes (mirrors Store: disk is the durability floor)                *)
+
+let overwrite st s ~disk =
+  st.dead.(s) <- false;
+  drop_fleet st s;
+  st.disk_valid.(s) <- disk;
+  insert_cache st s
+
+let write_range_through st ~page_index ~npages =
+  match Usbs.Sfs.write_pages st.swap ~page_index ~npages with
+  | Ok () ->
+      for s = page_index to page_index + npages - 1 do
+        overwrite st s ~disk:true
+      done;
+      Ok ()
+  | Error (`Lost_pages l) as e ->
+      for s = page_index to page_index + npages - 1 do
+        if List.mem s l then begin
+          drop_cache st s;
+          drop_fleet st s;
+          st.dead.(s) <- true
+        end
+        else overwrite st s ~disk:true
+      done;
+      e
+  | Error (`Retired | `Crashed) as e -> e
+
+let write_pages st ~page_index ~npages =
+  match st.mode with
+  | Store.Write_through -> write_range_through st ~page_index ~npages
+  | Store.Write_back ->
+      for s = page_index to page_index + npages - 1 do
+        overwrite st s ~disk:false
+      done;
+      Ok ()
+
+let write_page st ~page_index = write_pages st ~page_index ~npages:1
+
+let write_pages_commit st ~page_index ~npages ~pages ~retire =
+  match
+    Usbs.Sfs.write_pages_commit st.swap ~page_index ~npages ~pages ~retire
+  with
+  | Ok () ->
+      for s = page_index to page_index + npages - 1 do
+        overwrite st s ~disk:true
+      done;
+      Ok ()
+  | Error (`Lost_pages l) as e ->
+      for s = page_index to page_index + npages - 1 do
+        if List.mem s l then begin
+          drop_cache st s;
+          drop_fleet st s;
+          st.dead.(s) <- true
+        end
+        else overwrite st s ~disk:true
+      done;
+      e
+  | Error (`Retired | `Crashed) as e -> e
+
+let backing st =
+  { Backing.label = st.label;
+    page_capacity = (fun () -> Usbs.Sfs.page_capacity st.swap);
+    journaled = (fun () -> Usbs.Sfs.swap_journaled st.swap);
+    read_pages =
+      (fun ~page_index ~npages -> read_pages st ~page_index ~npages);
+    write_page = (fun ~page_index -> write_page st ~page_index);
+    write_pages =
+      (fun ~page_index ~npages -> write_pages st ~page_index ~npages);
+    write_pages_commit =
+      (fun ~page_index ~npages ~pages ~retire ->
+        write_pages_commit st ~page_index ~npages ~pages ~retire);
+    slot_committed = (fun slot -> Usbs.Sfs.slot_committed st.swap slot);
+    extent =
+      (fun () ->
+        (Usbs.Sfs.extent_start st.swap, Usbs.Sfs.extent_blocks st.swap)) }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let stats t =
+  { stores = t.s_stores;
+    acks = t.s_acks;
+    replica_skips = t.s_replica_skips;
+    replica_timeouts = t.s_replica_timeouts;
+    remote_fulls = t.s_remote_fulls;
+    lost_primaries = t.s_lost_primaries;
+    failovers = t.s_failovers;
+    rebuilds = t.s_rebuilds;
+    disk_fallbacks = t.s_disk_fallbacks;
+    secondary_rebuilds = t.s_secondary_rebuilds;
+    retransmits = t.s_retransmits;
+    quarantines = t.s_quarantines;
+    readmissions = t.s_readmissions;
+    probes = t.s_probes;
+    probe_failures = t.s_probe_failures;
+    wipes_applied = t.s_wipes_applied;
+    repair_rounds = t.s_repair_rounds }
+
+let health t =
+  Array.to_list
+    (Array.map
+       (fun nd ->
+         { nh_name = nd.nd_name;
+           nh_used = Remote_node.used_pages nd.nd_remote;
+           nh_capacity = Remote_node.capacity nd.nd_remote;
+           nh_quarantined = nd.nd_quarantined;
+           nh_streak = nd.nd_streak;
+           nh_quarantines = nd.nd_quarantines;
+           nh_readmissions = nd.nd_readmissions })
+       t.nodes)
+
+let store_stats st =
+  { st_cache_hits = st.sx_cache_hits;
+    st_fleet_hits = st.sx_fleet_hits;
+    st_fleet_misses = st.sx_fleet_misses;
+    st_promotes = st.sx_promotes;
+    st_demotes = st.sx_demotes;
+    st_write_fallbacks = st.sx_write_fallbacks;
+    st_clean_skips = st.sx_clean_skips;
+    st_lost_slots = st.sx_lost_slots }
+
+let books_balanced t =
+  t.s_stores = t.s_acks
+  && t.s_lost_primaries = t.s_failovers + t.s_rebuilds + t.s_disk_fallbacks

@@ -1,0 +1,176 @@
+(** A replicated remote memory tier: N nodes, R copies, no single
+    point of failure.
+
+    PR 6's {!Store} pages to {e one} {!Remote_node}; one
+    [Remote_node.wipe] and every tiered domain eats the ~130× disk
+    penalty. A fleet spreads the same traffic over several nodes:
+    each demoted page is written to [replicas] nodes chosen by a
+    seeded rendezvous hash (deterministic — same seed, same replica
+    sets), reads try the primary and fail over to the surviving
+    replicas, and only when every copy is gone does a fault fall back
+    to the disk durability floor.
+
+    {b Health.} Every node is reached over its own {!Usnet.Link};
+    packets to a crashed or partitioned node (per
+    {!Inject.node_reachable}) are never acked, so the sender
+    retransmits on the deterministic {!Store.backoff} ladder and
+    eventually times out. [quarantine_after] consecutive timeouts
+    quarantine the node: it stops being asked for pages, and a
+    background process probes it each [probe_period], re-admitting it
+    when a probe is answered (a healed partition) — a crashed node
+    just stays quarantined.
+
+    {b Repair.} The same background process re-replicates: each
+    [repair_period] it scans the placement book for copies a live
+    node should hold but does not (wiped, or newly re-admitted after
+    losing its RAM) and rebuilds up to [repair_budget] copies per
+    round from surviving replicas, over the fleet's own repair link
+    clients so repair traffic cannot eat the domains' guarantees.
+
+    {b Books.} Double-entry, extending the PR 6 convention:
+    - [stores = acks] — every replica copy the placement book records
+      was individually acknowledged by its node;
+    - [lost_primaries = failovers + rebuilds + disk_fallbacks] —
+      every observation of a missing/unreachable primary copy is
+      answered exactly once: a surviving replica served the read, the
+      repair process rebuilt the primary copy, or the read fell back
+      to the disk.
+
+    Charging is unchanged from {!Store}: every fragment a domain
+    sends or receives burns that domain's own link-client slice, so a
+    thrashing tiered domain still cannot starve its neighbours. *)
+
+open Engine
+
+type t
+(** The fleet: nodes, placement book, health state, repair process. *)
+
+type store
+(** One domain's view of the fleet — LRU RAM cache on top, the
+    replicated node set below, the domain's swapfile as durability
+    floor. Obtained from {!attach}, consumed via {!backing}. *)
+
+type stats = {
+  stores : int;  (** replica copies recorded in the placement book *)
+  acks : int;  (** node acknowledgements backing those copies *)
+  replica_skips : int;  (** writes not attempted (node quarantined) *)
+  replica_timeouts : int;  (** writes abandoned after the last retry *)
+  remote_fulls : int;  (** writes refused by a full node *)
+  lost_primaries : int;  (** reads/repairs that found the primary gone *)
+  failovers : int;  (** ... answered by a surviving replica *)
+  rebuilds : int;  (** ... answered by rebuilding the primary copy *)
+  disk_fallbacks : int;  (** ... answered by the disk floor *)
+  secondary_rebuilds : int;
+      (** non-primary copies rebuilt (outside the primary equation) *)
+  retransmits : int;  (** fragments retried on the backoff ladder *)
+  quarantines : int;  (** nodes quarantined (streak of timeouts) *)
+  readmissions : int;  (** quarantined nodes probed back in *)
+  probes : int;
+  probe_failures : int;
+  wipes_applied : int;  (** {!Inject.node_wipe_due} wipes honoured *)
+  repair_rounds : int;
+}
+
+type node_health = {
+  nh_name : string;
+  nh_used : int;
+  nh_capacity : int;
+  nh_quarantined : bool;
+  nh_streak : int;  (** consecutive timeouts right now *)
+  nh_quarantines : int;
+  nh_readmissions : int;
+}
+
+type store_stats = {
+  st_cache_hits : int;
+  st_fleet_hits : int;  (** reads served by some replica node *)
+  st_fleet_misses : int;  (** reads of never-placed slots (disk) *)
+  st_promotes : int;
+  st_demotes : int;  (** evictions placed on at least one node *)
+  st_write_fallbacks : int;
+      (** dirty evictions no node accepted, written to disk instead *)
+  st_clean_skips : int;  (** clean evictions no node accepted *)
+  st_lost_slots : int;  (** slots dead with no surviving copy anywhere *)
+}
+
+val create :
+  ?replicas:int ->
+  ?quarantine_after:int ->
+  ?probe_period:Time.span ->
+  ?repair_period:Time.span ->
+  ?repair_budget:int ->
+  ?link_retries:int ->
+  ?retx_timeout:Time.span ->
+  ?repair_qos:Time.span * Time.span ->
+  ?repair:bool ->
+  seed:int ->
+  nodes:(string * Remote_node.t * Usnet.Link.t) list ->
+  Sim.t ->
+  t
+(** [create ~seed ~nodes sim] builds a fleet over [nodes] — each a
+    [(name, node, link)] triple where [name] must be the link's
+    {!Usnet.Link.name} (it keys the {!Inject} node-fault sites).
+    Defaults: [replicas = 2] copies per page, [quarantine_after = 3]
+    consecutive timeouts, [probe_period = 50ms], [repair_period =
+    25ms], [repair_budget = 8] copies rebuilt per round,
+    [link_retries = 3], [retx_timeout = 1ms] (the {!Store.backoff}
+    base), [repair_qos = (20ms, 2ms)] — the (p, s) guarantee admitted
+    on every node link for the fleet's own probe/repair traffic —
+    and [repair = true] (spawn the background repair process; tests
+    that want to drive rounds by hand pass [false] and call
+    {!repair_round}).
+
+    Raises [Invalid_argument] on an empty node list, [replicas < 1]
+    or a refused repair-client admission. [replicas] is clamped to
+    the fleet size. *)
+
+val admit_clients :
+  t ->
+  name:string ->
+  period:Time.span ->
+  slice:Time.span ->
+  ?extra:bool ->
+  ?queue_depth:int ->
+  ?laxity:Time.span ->
+  unit ->
+  (Usnet.Link.client array, Usnet.Link.admit_error) result
+(** Admit one client per node link under the same (p, s, x, l)
+    guarantee, in node order — what {!attach} consumes. On a refusal
+    the already-admitted clients are retired and the error returned. *)
+
+val attach :
+  ?mode:Store.mode ->
+  ?cache_pages:int ->
+  ?label:string ->
+  t ->
+  clients:Usnet.Link.client array ->
+  swap:Usbs.Sfs.swapfile ->
+  unit ->
+  store
+(** Attach one domain: [clients] must be one admitted client per node
+    in node order (see {!admit_clients}); pages are keyed at the
+    nodes by the swapfile's name. Defaults mirror {!Store.create}:
+    [mode = Write_through], [cache_pages = 32], [label = "fleet"]. *)
+
+val backing : store -> Backing.t
+(** The store as a {!Backing.t} — what [Sd_paged.create ?backing] and
+    [Workload.Paging_app.start ?backing] take. *)
+
+val placement : t -> owner:string -> slot:int -> int array
+(** The replica node indices the rendezvous hash assigns this page,
+    primary first — deterministic in [(seed, names, owner, slot)]
+    alone, so tests can assert same seed → same replica sets. *)
+
+val node_names : t -> string array
+
+val repair_round : t -> unit
+(** One synchronous probe/repair round — what the background process
+    runs each [repair_period]. Exposed for tests ([repair = false]). *)
+
+val stats : t -> stats
+val health : t -> node_health list
+val store_stats : store -> store_stats
+
+val books_balanced : t -> bool
+(** [stores = acks] and
+    [lost_primaries = failovers + rebuilds + disk_fallbacks]. *)

@@ -14,6 +14,7 @@ type stats = {
   drops_seen : int;
   delays_seen : int;
   retransmits : int;
+  retx_delays : Time.span list;
   drop_losses : int;
   transfer_fails : int;
   clean_aborts : int;
@@ -48,6 +49,7 @@ type t = {
   mutable s_drops : int;
   mutable s_delays : int;
   mutable s_retransmits : int;
+  mutable s_retx_delays : Time.span list; (* reverse chronological *)
   mutable s_drop_losses : int;
   mutable s_transfer_fails : int;
   mutable s_clean_aborts : int;
@@ -89,6 +91,7 @@ let create ?(mode = Write_through) ?(cache_pages = 32) ?(link_retries = 3)
     s_drops = 0;
     s_delays = 0;
     s_retransmits = 0;
+    s_retx_delays = [];
     s_drop_losses = 0;
     s_transfer_fails = 0;
     s_clean_aborts = 0;
@@ -106,6 +109,7 @@ let stats t =
     drops_seen = t.s_drops;
     delays_seen = t.s_delays;
     retransmits = t.s_retransmits;
+    retx_delays = List.rev t.s_retx_delays;
     drop_losses = t.s_drop_losses;
     transfer_fails = t.s_transfer_fails;
     clean_aborts = t.s_clean_aborts;
@@ -130,11 +134,18 @@ let fragments t =
   List.init n (fun i ->
       if i = n - 1 then page_bytes - ((n - 1) * mtu) else mtu)
 
+(* The Sfs retry ladder at network scale: the [n]-th retransmit of a
+   packet backs off [base * 2^n], bounded at [8 * base] so a long
+   retry budget degenerates to a steady (still deterministic) pulse
+   rather than an unbounded stall. With the default 1 ms base the
+   ladder is the familiar 1/2/4/8 ms. *)
+let backoff ~base ~attempt = base * (1 lsl min attempt 3)
+
 (* One packet on the wire. A dropped packet still burned its slot
    time (it was transmitted, then never acked), so the QoS charge
    lands before the fault plan is consulted. *)
 let send_frag t bytes =
-  let rec attempt left =
+  let rec attempt left n =
     match Usnet.Link.transmit t.link t.client ~bytes with
     | Error `Retired -> Error `Link_lost
     | Ok () -> (
@@ -149,8 +160,10 @@ let send_frag t bytes =
             if left > 0 then begin
               t.s_retransmits <- t.s_retransmits + 1;
               metric t "tier.retransmit";
-              Proc.sleep t.retx_timeout;
-              attempt (left - 1)
+              let d = backoff ~base:t.retx_timeout ~attempt:n in
+              t.s_retx_delays <- d :: t.s_retx_delays;
+              Proc.sleep d;
+              attempt (left - 1) (n + 1)
             end
             else begin
               t.s_drop_losses <- t.s_drop_losses + 1;
@@ -158,7 +171,7 @@ let send_frag t bytes =
               Error `Link_lost
             end)
   in
-  attempt t.link_retries
+  attempt t.link_retries 0
 
 (* A whole page across the wire; [request] prepends the 64-byte fetch
    request for the read direction. Abandons at the first lost

@@ -52,6 +52,10 @@ type stats = {
   drops_seen : int;  (** packets the fault plan dropped *)
   delays_seen : int;  (** packets the fault plan delayed *)
   retransmits : int;  (** dropped packets that were retried *)
+  retx_delays : Time.span list;
+      (** the backoff actually slept before each retransmit, in
+          chronological order — tests assert the {!backoff} ladder
+          (1/2/4/8 ms at the default base) straight off the stats *)
   drop_losses : int;  (** transfers abandoned after the last retry *)
   transfer_fails : int;  (** page transfers that returned [`Link_lost] *)
   clean_aborts : int;  (** failed transfers that needed no answer *)
@@ -77,6 +81,12 @@ val create :
     [retx_timeout = 1ms], [label = "tier"]. The [client] must have
     been admitted on [link] by the owning domain; pages at the remote
     node are keyed by the swapfile's name. *)
+
+val backoff : base:Time.span -> attempt:int -> Time.span
+(** The deterministic retransmit ladder shared with [Sfs] and
+    [Fleet]: the [attempt]-th retry (0-based) backs off
+    [base * 2^attempt], bounded at [8 * base] — 1/2/4/8 ms at the
+    default 1 ms base. *)
 
 val backing : t -> Backing.t
 (** The store as a {!Backing.t} — what [Sd_paged.create ?backing]
