@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-failover bench-share bench-scale smoke chaos crash remote failover scale share fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-failover bench-erasure bench-share bench-scale smoke chaos crash remote failover erasure scale share fmt check clean
 
 all: build
 
@@ -35,6 +35,15 @@ bench-remote:
 # within 2x the healthy remote path and far from the disk.
 bench-failover:
 	dune exec bench/main.exe -- failover
+
+# Regenerate the machine-readable erasure record: hotspot fault
+# latency against the disk, the R = 2 replicated fleet, the healthy
+# (4,2) erasure fleet and the erasure fleet reading degraded after a
+# node wipe (repair off, so every post-wipe read pays the k-shard
+# reconstruction) — the parity read price and the degraded/disk gap
+# side by side with per-node shard books.
+bench-erasure:
+	dune exec bench/main.exe -- erasure
 
 # Regenerate the machine-readable sharing record: the 32-tenant CoW
 # fleet against its unshared/no-zram control arm — resident-frame
@@ -92,6 +101,16 @@ remote:
 failover:
 	dune exec bin/nemesis_sim.exe -- failover
 
+# Erasure run: three tiered domains page through a six-node (4,2)
+# erasure-coded fleet beside three disk-only bystanders; two nodes
+# are wiped mid-run (within the m = 2 loss budget), a standby joins,
+# and one node serves 2% corrupt shards. Zero committed pages lost,
+# degraded reads >= 50x faster than the disk floor, storage overhead
+# <= 1.55x (vs 2x for R = 2), balanced shard books and a
+# byte-identical same-seed rerun asserted (non-zero exit on breach).
+erasure:
+	dune exec bin/nemesis_sim.exe -- erasure
+
 # Scale-out run: 128 self-paging domains under tight admission
 # control; zero QoS violations, balanced frame books and the typed
 # late-comer refusal asserted (non-zero exit on breach).
@@ -105,7 +124,7 @@ scale:
 share:
 	dune exec bin/nemesis_sim.exe -- tenancy -d 20 --tenants 12
 
-check: fmt build test smoke chaos crash remote failover scale share
+check: fmt build test smoke chaos crash remote failover erasure scale share
 	@echo "check OK"
 
 clean:

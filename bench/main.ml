@@ -369,6 +369,24 @@ let run_failover () =
     (fun () -> output_string oc (Experiments.Failover.bench_to_json r));
   Printf.printf "wrote %s\n%!" path
 
+(* --- Part 5b'': the erasure verdict --------------------------------- *)
+
+(* The hotspot workload against the disk, the 2-replica fleet, the
+   healthy (4, 2) erasure stripe and the stripe with a node wiped at
+   T/2. Headline verdict: parity reads cost at most 2x the replicated
+   path, degraded reads stay at least 5x below the disk, and the
+   stripe holds 1.5x the page's bytes where replication holds 2x. *)
+let run_erasure () =
+  let r = Experiments.Erasure.bench ~duration:(Time.sec 30) () in
+  Experiments.Erasure.bench_print r;
+  flush stdout;
+  let path = "BENCH_erasure.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Experiments.Erasure.bench_to_json r));
+  Printf.printf "wrote %s\n%!" path
+
 (* --- Part 5c: the sharing / stacked-pager verdict ------------------- *)
 
 (* The 32-tenant CoW fleet against its unshared control arm (same
@@ -617,6 +635,7 @@ let () =
   | [| _; "crash" |] -> run_crash ()
   | [| _; "remote" |] -> run_remote ()
   | [| _; "failover" |] -> run_failover ()
+  | [| _; "erasure" |] -> run_erasure ()
   | [| _; "share" |] -> run_share ()
   | [| _; "scale" |] -> run_scale ()
   | _ ->
@@ -627,5 +646,6 @@ let () =
     run_crash ();
     run_remote ();
     run_failover ();
+    run_erasure ();
     run_share ();
     run_scale ()

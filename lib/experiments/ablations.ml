@@ -120,13 +120,19 @@ let run_rollover_one ~rollover ~duration =
      Paging_app.start sys ~name:"hog" ~mode:Paging_app.Paging_out ~qos ()
    with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e ->
+    Harness.fail_verdict ~experiment:"ablations"
+      ~context:[ ("ablation", "A-rollover"); ("app", "hog") ]
+      e);
   (* A competitor so that exceeding the guarantee actually takes time
      away from someone. *)
   let fq = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 125) () in
   (match Fs_client.start sys ~name:"fs" ~qos:fq () with
   | Ok _ -> ()
-  | Error e -> failwith e);
+  | Error e ->
+    Harness.fail_verdict ~experiment:"ablations"
+      ~context:[ ("ablation", "A-rollover"); ("app", "fs") ]
+      e);
   System.run sys ~until:duration;
   share_of_client (Usbs.Usd.trace (System.usd sys)) "hog.swap" ~duration
 
@@ -213,7 +219,10 @@ let run_slack ?(duration = Time.sec 120) () =
             Paging_app.start sys ~name ~mode:Paging_app.Paging_in ~qos ()
           with
           | Ok a -> (name, a)
-          | Error e -> failwith (name ^ ": " ^ e))
+          | Error e ->
+            Harness.fail_verdict ~experiment:"ablations"
+              ~context:[ ("ablation", "A-slack"); ("app", name) ]
+              (name ^ ": " ^ e))
         specs
     in
     System.run sys ~until:duration;
@@ -276,7 +285,11 @@ let run_stream ?(duration = Time.sec 170) () =
           ~phys_frames:(2 + (2 * readahead)) ~readahead ()
       with
       | Ok a -> a
-      | Error e -> failwith e
+      | Error e ->
+        Harness.fail_verdict ~experiment:"ablations"
+          ~context:
+            [ ("ablation", "A-stream"); ("readahead", string_of_int readahead) ]
+          e
     in
     System.run sys ~until:duration;
     let txns = ref 0 in
@@ -324,10 +337,16 @@ let make_hoarder sys ~name ~mapped ~pages =
   match
     System.add_domain sys ~name ~guarantee:2 ~optimistic:pages ()
   with
-  | Error e -> failwith (System.error_message e)
+  | Error e ->
+    Harness.fail_verdict ~experiment:"ablations"
+      ~context:[ ("ablation", "A-revoke"); ("domain", name) ]
+      (System.error_message e)
   | Ok d ->
     (match System.alloc_stretch d ~bytes:(pages * Hw.Addr.page_size) () with
-    | Error e -> failwith e
+    | Error e ->
+      Harness.fail_verdict ~experiment:"ablations"
+        ~context:[ ("ablation", "A-revoke"); ("stage", "alloc_stretch") ]
+        e
     | Ok stretch ->
       if mapped then begin
         (* Paged backing: revoked pages are dirty and must be cleaned
@@ -342,7 +361,10 @@ let make_hoarder sys ~name ~mapped ~pages =
                  ~qos stretch ()
              with
             | Ok _ -> ()
-            | Error e -> failwith (System.error_message e));
+            | Error e ->
+              Harness.fail_verdict ~experiment:"ablations"
+                ~context:[ ("ablation", "A-revoke"); ("stage", "bind_paged") ]
+                (System.error_message e));
             for i = 0 to pages - 1 do
               Domains.access d.System.dom (Stretch.page_base stretch i) `Write
             done)
@@ -350,7 +372,10 @@ let make_hoarder sys ~name ~mapped ~pages =
       else begin
         match System.bind_physical d ~prealloc:pages stretch with
         | Ok _ -> ()
-        | Error e -> failwith (System.error_message e)
+        | Error e ->
+          Harness.fail_verdict ~experiment:"ablations"
+            ~context:[ ("ablation", "A-revoke"); ("stage", "bind_physical") ]
+            (System.error_message e)
       end;
       d)
 
@@ -366,7 +391,10 @@ let run_revoke () =
     let requester =
       match System.add_domain sys ~name:"requester" ~guarantee:30 ~optimistic:0 () with
       | Ok d -> d
-      | Error e -> failwith (System.error_message e)
+      | Error e ->
+        Harness.fail_verdict ~experiment:"ablations"
+          ~context:[ ("ablation", "A-revoke"); ("domain", "requester") ]
+          (System.error_message e)
     in
     let sim = System.sim sys in
     let got, latency =

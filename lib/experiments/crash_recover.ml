@@ -46,7 +46,10 @@ let start_clean sys ~name =
       ~swap_bytes:(4 * 1024 * 1024) ()
   with
   | Ok a -> a
-  | Error e -> failwith (Printf.sprintf "crash-recover: %s: %s" name e)
+  | Error e ->
+    Harness.fail_verdict ~experiment:"crash-recover"
+      ~context:[ ("stage", "start_clean"); ("domain", name) ]
+      (Printf.sprintf "crash-recover: %s: %s" name e)
 
 (* Start (or restart) the victim: a continuous writer over a small
    stretch, restartable so its swapfile survives its death detached.
@@ -68,14 +71,19 @@ let start_victim sys ~restart spec_opt =
     match d with
     | Ok d -> d
     | Error e ->
-      failwith ("crash-recover: victim: " ^ System.error_message e)
+      Harness.fail_verdict ~experiment:"crash-recover"
+        ~context:[ ("stage", "victim admission") ]
+        ("crash-recover: victim: " ^ System.error_message e)
   in
   let s =
     match
       System.alloc_stretch d ~bytes:(victim_pages * Addr.page_size) ()
     with
     | Ok s -> s
-    | Error e -> failwith ("crash-recover: victim: " ^ e)
+    | Error e ->
+      Harness.fail_verdict ~experiment:"crash-recover"
+        ~context:[ ("stage", "victim stretch") ]
+        ("crash-recover: victim: " ^ e)
   in
   let started = Sync.Ivar.create () in
   ignore
@@ -115,8 +123,14 @@ let start_victim sys ~restart spec_opt =
   done;
   match Sync.Ivar.peek started with
   | Some (Ok handle) -> (d, handle)
-  | Some (Error e) -> failwith ("crash-recover: victim: " ^ e)
-  | None -> failwith "crash-recover: victim setup did not complete"
+  | Some (Error e) ->
+    Harness.fail_verdict ~experiment:"crash-recover"
+      ~context:[ ("stage", "victim bind") ]
+      ("crash-recover: victim: " ^ e)
+  | None ->
+    Harness.fail_verdict ~experiment:"crash-recover"
+      ~context:[ ("stage", "victim bind") ]
+      "crash-recover: victim setup did not complete"
 
 (* One seeded, one-shot crash point scoped to the victim's swap: any
    durable write the victim issues inside the window after [after] is
@@ -174,8 +188,14 @@ let remount_now sys =
   done;
   match !out with
   | Some (Ok st) -> st
-  | Some (Error e) -> failwith ("crash-recover: remount: " ^ e)
-  | None -> failwith "crash-recover: remount did not complete"
+  | Some (Error e) ->
+    Harness.fail_verdict ~experiment:"crash-recover"
+      ~context:[ ("stage", "remount") ]
+      ("crash-recover: remount: " ^ e)
+  | None ->
+    Harness.fail_verdict ~experiment:"crash-recover"
+      ~context:[ ("stage", "remount") ]
+      "crash-recover: remount did not complete"
 
 (* The idempotence check compares the journal-recovered state: the free
    map and every detached swap's rebuilt tables. Live attached swaps
@@ -249,7 +269,10 @@ let run ?(seed = 42) ?(rounds = 4) () =
     let died = run_until_dead sys (fst !victim).System.dom ~bound:(Time.sec 20) in
     let crashes = (Inject.tally ()).Inject.crashes in
     Inject.disarm ();
-    if not died then failwith "crash-recover: victim did not crash";
+    if not died then
+      Harness.fail_verdict ~experiment:"crash-recover"
+        ~context:[ ("round", string_of_int r); ("target", target) ]
+        "crash-recover: victim did not crash";
     (* Injection-free drain so the bystanders' in-flight work settles. *)
     run_for sys (Time.ms 500);
     (* Remount: replay the intent journal, rebuild the control state,

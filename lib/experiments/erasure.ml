@@ -1,0 +1,726 @@
+open Engine
+open Core
+
+type domain_report = {
+  dr_name : string;
+  dr_pattern : string;
+  dr_tiered : bool;
+  dr_mbit : float;
+  dr_accesses : int;
+  dr_fault_mean_us : float;
+  dr_fault_p95_us : float;
+  dr_violations : int;
+}
+
+type cell = {
+  c_name : string;
+  c_mode : string;
+  c_domains : domain_report list;
+  c_fleet : Tier.Fleet.stats;
+  c_health : Tier.Fleet.node_health list;
+  c_books_balanced : bool;
+  c_store_totals : Tier.Fleet.store_stats;
+  c_lost_slots : int;
+  c_overhead : float;
+  c_degraded_count : int;
+  c_degraded_mean_us : float;
+  c_disk_floor_us : float;
+  c_bystander_violations : int;
+  c_tiered_violations : int;
+  c_audit : Obs.Qos_audit.summary;
+}
+
+type result = {
+  seed : int;
+  duration : Time.span;
+  replicated : cell;
+  erasure : cell;
+  speedup : float;
+  deterministic : bool;
+}
+
+let patterns =
+  [ ("seq", Workload.Paging_app.Sequential);
+    ("rand", Workload.Paging_app.Random);
+    ("hot", Workload.Paging_app.Hotspot) ]
+
+let fault_hist name =
+  match Obs.Metrics.hist_view ~label:name "fault.latency_us" with
+  | Some v -> (v.Obs.Metrics.hv_mean, Obs.Metrics.hist_quantile v 0.95)
+  | None -> (nan, nan)
+
+let start_app sys ~name ~pattern ?backing () =
+  (* six apps share the disk: 6 x 35/250 = 0.84 leaves admission room *)
+  let qos = Usbs.Qos.make ~period:(Time.ms 250) ~slice:(Time.ms 35) () in
+  match
+    Workload.Paging_app.start sys ~name ~mode:Workload.Paging_app.Paging_in
+      ~qos ~vm_bytes:(1024 * 1024) ~phys_frames:8
+      ~swap_bytes:(4 * 1024 * 1024) ?backing ~pattern ()
+  with
+  | Ok a -> a
+  | Error e ->
+      Harness.fail_verdict ~experiment:"erasure" ~context:[ ("app", name) ]
+        (Printf.sprintf "erasure: %s: %s" name e)
+
+(* A six-member ring so an Erasure {k = 4; m = 2} stripe spans every
+   member, plus one standby that joins mid-run. Capacity is generous:
+   the experiment is about losses and degraded reads, not placement
+   pressure (the failover experiment covers full nodes). *)
+let member_count = 6
+let node_capacity = 420
+let node_name i = Printf.sprintf "n%d" i
+let standby_name = "n6"
+
+(* Two wipes, m losses apart, plus a membership change and a lossy
+   checksum — all virtual time / plan-seeded dice, no wall clock:
+   n1 forgets its contents at T/3, n2 at 0.45 T (so an erasure stripe
+   is down exactly m = 2 shards until repair catches up), the standby
+   joins at 0.6 T, and every shard served by n3 has a 2% chance of
+   failing its checksum. *)
+let plan_for ~seed ~duration =
+  let d = Time.to_ns duration in
+  { Inject.default_plan with
+    seed;
+    node_faults =
+      [ Inject.node_fault ~wipe_at:(Time.ns (d / 3)) (node_name 1);
+        Inject.node_fault ~wipe_at:(Time.ns (d * 45 / 100)) (node_name 2);
+        Inject.node_fault ~join_at:(Time.ns (d * 3 / 5)) standby_name;
+        Inject.node_fault ~corrupt:0.02 (node_name 3) ] }
+
+(* The fleet rides a gigabit fabric with jumbo frames — the
+   disaggregated-memory premise (the network is an order of magnitude
+   closer to DRAM than the disk); a shard or a whole page fits one
+   frame. The disk floor the degraded path is measured against is the
+   same one the bystanders pay. *)
+let mk_node sys name =
+  let link =
+    Usnet.Link.create ~name ~params:Usnet.Net_params.gigabit (System.sim sys)
+  in
+  (name, Tier.Remote_node.create ~capacity_pages:node_capacity (), link)
+
+(* The repair budget is the same deliberate trickle as the failover
+   experiment (2 entries every 250 ms): with two nodes wiped the fleet
+   cannot re-shard fast enough, so reads in the window MUST be served
+   degraded — that window is what the experiment measures. *)
+let build_fleet ~seed ~redundancy sys =
+  Tier.Fleet.create ~seed ~redundancy
+    ~standby:[ mk_node sys standby_name ]
+    ~repair_period:(Time.ms 250) ~repair_budget:2
+    ~nodes:(List.init member_count (fun i -> mk_node sys (node_name i)))
+    (System.sim sys)
+
+let run_cell ~seed ~duration ~name ~mode ~redundancy =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Inject.disarm ();
+  let config = { System.default_config with seed; main_memory_mb = 2 } in
+  let sys = System.create ~config () in
+  let fleet = build_fleet ~seed ~redundancy sys in
+  let stores = ref [] in
+  let disk_apps =
+    List.map
+      (fun (pat, pattern) ->
+        let nm = "disk_" ^ pat in
+        (nm, pat, false, start_app sys ~name:nm ~pattern ()))
+      patterns
+  in
+  let tier_apps =
+    List.map
+      (fun (pat, pattern) ->
+        let nm = "fleet_" ^ pat in
+        (* per-node links: 3 domains x 5/20 + the fleet's repair
+           client 2/20 = 0.85 of each link *)
+        let clients =
+          match
+            Tier.Fleet.admit_clients fleet ~name:(nm ^ ".tier")
+              ~period:(Time.ms 20) ~slice:(Time.ms 5) ~extra:true
+              ~laxity:(Time.of_ms_float 2.0) ()
+          with
+          | Ok cs -> cs
+          | Error e ->
+              Harness.fail_verdict ~experiment:"erasure"
+                ~context:[ ("cell", name); ("app", nm) ]
+                ("erasure: " ^ Usnet.Link.admit_error_message e)
+        in
+        let backing swap =
+          let store =
+            Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
+              ~swap ()
+          in
+          stores := store :: !stores;
+          Tier.Fleet.backing store
+        in
+        (nm, pat, true, start_app sys ~name:nm ~pattern ~backing ()))
+      patterns
+  in
+  let apps = disk_apps @ tier_apps in
+  Inject.arm (plan_for ~seed ~duration);
+  System.run ~until:duration sys;
+  Inject.disarm ();
+  System.run ~until:(Time.add duration (Time.sec 2)) sys;
+  let viol nm app =
+    Chaos.violations_for ~names:[ nm ]
+      ~ids:[ Domains.id (Workload.Paging_app.domain app).System.dom ]
+  in
+  let reports =
+    List.map
+      (fun (nm, pat, tiered, app) ->
+        let mean, p95 = fault_hist nm in
+        { dr_name = nm;
+          dr_pattern = pat;
+          dr_tiered = tiered;
+          dr_mbit = Workload.Paging_app.sustained_mbit app;
+          dr_accesses = Workload.Paging_app.measured_accesses app;
+          dr_fault_mean_us = mean;
+          dr_fault_p95_us = p95;
+          dr_violations = viol nm app })
+      apps
+  in
+  let bystanders, tiered = List.partition (fun r -> not r.dr_tiered) reports in
+  (* the disk durability floor the degraded path must beat: the
+     bystanders' pooled fault-service latency over the same run *)
+  let disk_floor =
+    let count = ref 0 and sum = ref 0.0 in
+    List.iter
+      (fun (nm, _, _, _) ->
+        match Obs.Metrics.hist_view ~label:nm "fault.latency_us" with
+        | Some v ->
+            count := !count + v.Obs.Metrics.hv_count;
+            sum := !sum +. (v.Obs.Metrics.hv_mean *. float_of_int v.Obs.Metrics.hv_count)
+        | None -> ())
+      disk_apps;
+    if !count = 0 then nan else !sum /. float_of_int !count
+  in
+  let degraded_count, degraded_mean =
+    match Obs.Metrics.hist_view ~label:"fleet" "fleet.degraded_us" with
+    | Some v -> (v.Obs.Metrics.hv_count, v.Obs.Metrics.hv_mean)
+    | None -> (0, nan)
+  in
+  let store_totals =
+    List.fold_left
+      (fun a s ->
+        let b = Tier.Fleet.store_stats s in
+        let open Tier.Fleet in
+        { st_cache_hits = a.st_cache_hits + b.st_cache_hits;
+          st_fleet_hits = a.st_fleet_hits + b.st_fleet_hits;
+          st_fleet_misses = a.st_fleet_misses + b.st_fleet_misses;
+          st_promotes = a.st_promotes + b.st_promotes;
+          st_demotes = a.st_demotes + b.st_demotes;
+          st_write_fallbacks = a.st_write_fallbacks + b.st_write_fallbacks;
+          st_clean_skips = a.st_clean_skips + b.st_clean_skips;
+          st_lost_slots = a.st_lost_slots + b.st_lost_slots })
+      { Tier.Fleet.st_cache_hits = 0; st_fleet_hits = 0; st_fleet_misses = 0;
+        st_promotes = 0; st_demotes = 0; st_write_fallbacks = 0;
+        st_clean_skips = 0; st_lost_slots = 0 }
+      !stores
+  in
+  { c_name = name;
+    c_mode = mode;
+    c_domains = reports;
+    c_fleet = Tier.Fleet.stats fleet;
+    c_health = Tier.Fleet.health fleet;
+    c_books_balanced = Tier.Fleet.books_balanced fleet;
+    c_store_totals = store_totals;
+    c_lost_slots = store_totals.Tier.Fleet.st_lost_slots;
+    c_overhead = Tier.Fleet.storage_overhead fleet;
+    c_degraded_count = degraded_count;
+    c_degraded_mean_us = degraded_mean;
+    c_disk_floor_us = disk_floor;
+    c_bystander_violations =
+      List.fold_left (fun n r -> n + r.dr_violations) 0 bystanders;
+    c_tiered_violations =
+      List.fold_left (fun n r -> n + r.dr_violations) 0 tiered;
+    c_audit = Obs.Qos_audit.summarize () }
+
+let jf f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f
+
+let cell_to_json c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "  {\"cell\": %S, \"mode\": %S,\n" c.c_name c.c_mode);
+  let dom d =
+    Printf.sprintf
+      "{\"name\": %S, \"pattern\": %S, \"tiered\": %b, \"mbit_s\": %s, \
+       \"accesses\": %d, \"fault_mean_us\": %s, \"fault_p95_us\": %s, \
+       \"violations\": %d}"
+      d.dr_name d.dr_pattern d.dr_tiered
+      (if Float.is_nan d.dr_mbit then "null"
+       else Printf.sprintf "%.3f" d.dr_mbit)
+      d.dr_accesses (jf d.dr_fault_mean_us) (jf d.dr_fault_p95_us)
+      d.dr_violations
+  in
+  Buffer.add_string b
+    (Printf.sprintf "   \"domains\": [%s],\n"
+       (String.concat ", " (List.map dom c.c_domains)));
+  let f = c.c_fleet in
+  Buffer.add_string b
+    (Printf.sprintf
+       "   \"fleet\": {\"stores\": %d, \"acks\": %d, \"lost_primaries\": %d, \
+        \"failovers\": %d, \"rebuilds\": %d, \"disk_fallbacks\": %d, \
+        \"lost_shards\": %d, \"degraded_reads\": %d, \"reconstructions\": \
+        %d, \"corrupt_shards\": %d, \"migrations\": %d, \"node_joins\": %d, \
+        \"node_retires\": %d, \"quarantines\": %d, \"readmissions\": %d, \
+        \"wipes_applied\": %d, \"repair_rounds\": %d},\n"
+       f.Tier.Fleet.stores f.Tier.Fleet.acks f.Tier.Fleet.lost_primaries
+       f.Tier.Fleet.failovers f.Tier.Fleet.rebuilds
+       f.Tier.Fleet.disk_fallbacks f.Tier.Fleet.lost_shards
+       f.Tier.Fleet.degraded_reads f.Tier.Fleet.reconstructions
+       f.Tier.Fleet.corrupt_shards f.Tier.Fleet.migrations
+       f.Tier.Fleet.node_joins f.Tier.Fleet.node_retires
+       f.Tier.Fleet.quarantines f.Tier.Fleet.readmissions
+       f.Tier.Fleet.wipes_applied f.Tier.Fleet.repair_rounds);
+  let node h =
+    Printf.sprintf
+      "{\"name\": %S, \"member\": %b, \"used\": %d, \"capacity\": %d, \
+       \"quarantined\": %b, \"quarantines\": %d, \"stores\": %d, \
+       \"serves\": %d, \"failovers\": %d}"
+      h.Tier.Fleet.nh_name h.Tier.Fleet.nh_member h.Tier.Fleet.nh_used
+      h.Tier.Fleet.nh_capacity h.Tier.Fleet.nh_quarantined
+      h.Tier.Fleet.nh_quarantines h.Tier.Fleet.nh_stores
+      h.Tier.Fleet.nh_serves h.Tier.Fleet.nh_failovers
+  in
+  Buffer.add_string b
+    (Printf.sprintf "   \"nodes\": [%s],\n"
+       (String.concat ", " (List.map node c.c_health)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "   \"books_balanced\": %b, \"lost_slots\": %d, \
+        \"storage_overhead\": %s,\n"
+       c.c_books_balanced c.c_lost_slots
+       (if Float.is_nan c.c_overhead then "null"
+        else Printf.sprintf "%.3f" c.c_overhead));
+  Buffer.add_string b
+    (Printf.sprintf
+       "   \"degraded_reads\": %d, \"degraded_mean_us\": %s, \
+        \"disk_floor_us\": %s,\n"
+       c.c_degraded_count (jf c.c_degraded_mean_us) (jf c.c_disk_floor_us));
+  Buffer.add_string b
+    (Printf.sprintf
+       "   \"bystander_violations\": %d, \"tiered_violations\": %d}"
+       c.c_bystander_violations c.c_tiered_violations);
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.duration));
+  Buffer.add_string b "  \"cells\": [\n";
+  Buffer.add_string b (cell_to_json r.replicated);
+  Buffer.add_string b ",\n";
+  Buffer.add_string b (cell_to_json r.erasure);
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"degraded_vs_disk_speedup\": %s,\n"
+       (if Float.is_nan r.speedup then "null"
+        else Printf.sprintf "%.1f" r.speedup));
+  Buffer.add_string b
+    (Printf.sprintf "  \"deterministic\": %b\n" r.deterministic);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* Same-seed reproducibility is part of the verdict: both cells run
+   twice — wipes, corruption dice, join, degraded reads, repair — and
+   the canonical reports must match byte-for-byte. *)
+let run ?(seed = 42) ?(duration = Time.sec 30) () =
+  let one () =
+    let replicated =
+      run_cell ~seed ~duration ~name:"replicated" ~mode:"R=2"
+        ~redundancy:(Tier.Fleet.Replicated 2)
+    in
+    let erasure =
+      run_cell ~seed ~duration ~name:"erasure" ~mode:"k=4,m=2"
+        ~redundancy:(Tier.Fleet.Erasure { k = 4; m = 2 })
+    in
+    let speedup =
+      if
+        Float.is_nan erasure.c_degraded_mean_us
+        || Float.is_nan erasure.c_disk_floor_us
+        || erasure.c_degraded_mean_us <= 0.
+      then nan
+      else erasure.c_disk_floor_us /. erasure.c_degraded_mean_us
+    in
+    { seed; duration; replicated; erasure; speedup; deterministic = true }
+  in
+  let r1 = one () in
+  let r2 = one () in
+  let canon r = to_json { r with deterministic = true } in
+  { r1 with deterministic = canon r1 = canon r2 }
+
+let ok r =
+  let base c =
+    c.c_lost_slots = 0 && c.c_books_balanced
+    && c.c_bystander_violations = 0
+    && c.c_fleet.Tier.Fleet.wipes_applied >= 2
+    && c.c_fleet.Tier.Fleet.node_joins >= 1
+    && c.c_fleet.Tier.Fleet.migrations >= 1
+  in
+  base r.replicated && base r.erasure
+  && r.erasure.c_fleet.Tier.Fleet.degraded_reads > 0
+  && r.erasure.c_fleet.Tier.Fleet.reconstructions > 0
+  && r.erasure.c_fleet.Tier.Fleet.corrupt_shards >= 1
+  && (not (Float.is_nan r.erasure.c_overhead))
+  && r.erasure.c_overhead <= 1.55
+  && r.erasure.c_overhead < r.replicated.c_overhead
+  && (not (Float.is_nan r.speedup))
+  && r.speedup >= 50.0
+  && r.deterministic
+
+let mbit_s f = if Float.is_nan f then "warming" else Report.f2 f
+let us f = if Float.is_nan f then "-" else Printf.sprintf "%.0f" f
+
+let print_cell c =
+  Printf.printf "--- cell %s (%s) ---\n" c.c_name c.c_mode;
+  Report.table
+    ~header:
+      [ "domain"; "pattern"; "backing"; "Mbit/s"; "accesses"; "fault us";
+        "p95 us"; "violations" ]
+    (List.map
+       (fun d ->
+         [ d.dr_name; d.dr_pattern; (if d.dr_tiered then "fleet" else "disk");
+           mbit_s d.dr_mbit; string_of_int d.dr_accesses;
+           us d.dr_fault_mean_us; us d.dr_fault_p95_us;
+           string_of_int d.dr_violations ])
+       c.c_domains);
+  let f = c.c_fleet in
+  Printf.printf "placement: %d stores = %d acks (%s)\n" f.Tier.Fleet.stores
+    f.Tier.Fleet.acks
+    (if f.Tier.Fleet.stores = f.Tier.Fleet.acks then "balanced"
+     else "UNBALANCED");
+  (match f.Tier.Fleet.lost_shards with
+  | 0 ->
+      Printf.printf
+        "primaries: %d lost = %d failovers + %d rebuilds + %d disk \
+         fallbacks (%s)\n"
+        f.Tier.Fleet.lost_primaries f.Tier.Fleet.failovers
+        f.Tier.Fleet.rebuilds f.Tier.Fleet.disk_fallbacks
+        (if c.c_books_balanced then "balanced" else "UNBALANCED")
+  | _ ->
+      Printf.printf
+        "shards: %d lost = %d reconstructions + %d rebuilds + %d disk \
+         fallbacks (%s)\n"
+        f.Tier.Fleet.lost_shards f.Tier.Fleet.reconstructions
+        f.Tier.Fleet.rebuilds f.Tier.Fleet.disk_fallbacks
+        (if c.c_books_balanced then "balanced" else "UNBALANCED"));
+  Printf.printf
+    "health: %d wipes, %d corrupt shards, %d joins, %d migrations, %d \
+     quarantines, %d repair rounds\n"
+    f.Tier.Fleet.wipes_applied f.Tier.Fleet.corrupt_shards
+    f.Tier.Fleet.node_joins f.Tier.Fleet.migrations f.Tier.Fleet.quarantines
+    f.Tier.Fleet.repair_rounds;
+  List.iter
+    (fun h ->
+      Printf.printf
+        "  node %s: %s, %d/%d entries, %d stored, %d served, %d failovers%s\n"
+        h.Tier.Fleet.nh_name
+        (if h.Tier.Fleet.nh_member then "member" else "standby")
+        h.Tier.Fleet.nh_used h.Tier.Fleet.nh_capacity h.Tier.Fleet.nh_stores
+        h.Tier.Fleet.nh_serves h.Tier.Fleet.nh_failovers
+        (if h.Tier.Fleet.nh_quarantined then " [quarantined]" else ""))
+    c.c_health;
+  Printf.printf
+    "storage overhead: %.3fx; degraded reads: %d (mean %s us) vs disk floor \
+     %s us\n"
+    c.c_overhead c.c_degraded_count
+    (us c.c_degraded_mean_us)
+    (us c.c_disk_floor_us);
+  Printf.printf "committed pages lost: %d\n" c.c_lost_slots;
+  Report.audit_section
+    (Printf.sprintf "QoS audit (%s)" c.c_name)
+    (Some c.c_audit);
+  Printf.printf "bystander (disk-only) violations: %d\n\n"
+    c.c_bystander_violations
+
+let print r =
+  Report.heading
+    "Erasure: k-of-n stripes vs whole-page replicas under double node loss";
+  Printf.printf
+    "seed %d, %.0f s (wipes at T/3 and 0.45T, standby joins at 0.6T, 2%% \
+     corrupt serves on n3) + 2 s drain\n\n"
+    r.seed (Time.to_sec r.duration);
+  print_cell r.replicated;
+  print_cell r.erasure;
+  Printf.printf
+    "erasure degraded read %.0f us vs disk floor %.0f us: %.0fx faster at \
+     %.2fx storage (replicas: %.2fx)\n"
+    r.erasure.c_degraded_mean_us r.erasure.c_disk_floor_us r.speedup
+    r.erasure.c_overhead r.replicated.c_overhead;
+  Printf.printf "same-seed rerun: %s\n"
+    (if r.deterministic then "byte-identical" else "DIVERGED");
+  print_endline
+    (if ok r then
+       "VERDICT: ok — two nodes lost, every read served from remote memory \
+        or the disk floor with zero committed pages lost, parity at 1.5x \
+        storage instead of 2x, books balance, reproducible"
+     else "VERDICT: FAILED")
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark: the price of parity, healthy and degraded.               *)
+
+type bench_cell = {
+  bc_name : string;
+  bc_accesses : int;
+  bc_mean_us : float;
+  bc_half2_mean_us : float;
+  bc_fleet_hits : int;
+  bc_degraded : int;
+  bc_reconstructions : int;
+  bc_rebuilds : int;
+  bc_overhead : float;
+  bc_nodes : Tier.Fleet.node_health list;
+}
+
+type bench_result = {
+  b_seed : int;
+  b_duration : Time.span;
+  b_cells : bench_cell list;
+  b_repl_us : float;
+  b_ec_us : float;
+  b_ec_wipe_us : float;
+  b_disk_us : float;
+  b_parity_price : float;
+  b_ec_overhead : float;
+  b_repl_overhead : float;
+  b_ok : bool;
+}
+
+let bench_capacity = 420
+
+(* One hotspot run against one backend; the fault-latency histogram is
+   split at T/2, where the wipe (if any) lands — node n0 loses its
+   contents between the two run legs, so with a six-node erasure
+   stripe every post-wipe read is degraded until repair catches up. *)
+let bench_cell ~seed ~duration ~name ~redundancy ?(repair = true) ~wipe () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Inject.disarm ();
+  let config = { System.default_config with seed; main_memory_mb = 2 } in
+  let sys = System.create ~config () in
+  let fleet_and_nodes =
+    match redundancy with
+    | None -> None
+    | Some redundancy ->
+        let nodes =
+          List.init member_count (fun i ->
+              let nm = node_name i in
+              let link =
+                Usnet.Link.create ~name:nm ~params:Usnet.Net_params.gigabit
+                  (System.sim sys)
+              in
+              (nm, Tier.Remote_node.create ~capacity_pages:bench_capacity (),
+               link))
+        in
+        Some
+          ( Tier.Fleet.create ~seed ~redundancy ~repair ~nodes
+              (System.sim sys),
+            nodes )
+  in
+  let store = ref None in
+  let backing =
+    match fleet_and_nodes with
+    | None -> None
+    | Some (fleet, _) ->
+        let clients =
+          match
+            Tier.Fleet.admit_clients fleet ~name:"bench.tier"
+              ~period:(Time.ms 20) ~slice:(Time.ms 5) ~extra:true
+              ~laxity:(Time.of_ms_float 2.0) ()
+          with
+          | Ok cs -> cs
+          | Error e ->
+              Harness.fail_verdict ~experiment:"erasure"
+                ~context:[ ("cell", name) ]
+                ("erasure: " ^ Usnet.Link.admit_error_message e)
+        in
+        Some
+          (fun swap ->
+            let s =
+              Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
+                ~swap ()
+            in
+            store := Some s;
+            Tier.Fleet.backing s)
+  in
+  let app =
+    start_app sys ~name:"bench" ~pattern:Workload.Paging_app.Hotspot ?backing
+      ()
+  in
+  let half = Time.ns (Time.to_ns duration / 2) in
+  System.run ~until:half sys;
+  let snap () =
+    match Obs.Metrics.hist_view ~label:"bench" "fault.latency_us" with
+    | Some v -> (v.Obs.Metrics.hv_count, v.Obs.Metrics.hv_mean)
+    | None -> (0, nan)
+  in
+  let c1, m1 = snap () in
+  (match (wipe, fleet_and_nodes) with
+  | true, Some (_, nodes) ->
+      let _, remote, _ = List.nth nodes 0 in
+      Tier.Remote_node.wipe remote
+  | _ -> ());
+  System.run ~until:duration sys;
+  let c2, m2 = snap () in
+  let half2 =
+    if c2 > c1 then
+      ((m2 *. float_of_int c2) -. (m1 *. float_of_int c1))
+      /. float_of_int (c2 - c1)
+    else nan
+  in
+  let fs, overhead, nodes_health =
+    match fleet_and_nodes with
+    | Some (fleet, _) ->
+        ( Tier.Fleet.stats fleet,
+          Tier.Fleet.storage_overhead fleet,
+          Tier.Fleet.health fleet )
+    | None ->
+        ( { Tier.Fleet.stores = 0; acks = 0; replica_skips = 0;
+            replica_timeouts = 0; remote_fulls = 0; lost_primaries = 0;
+            failovers = 0; rebuilds = 0; disk_fallbacks = 0;
+            secondary_rebuilds = 0; lost_shards = 0; degraded_reads = 0;
+            reconstructions = 0; corrupt_shards = 0; migrations = 0;
+            node_joins = 0; node_retires = 0; retransmits = 0;
+            quarantines = 0; readmissions = 0; probes = 0;
+            probe_failures = 0; wipes_applied = 0; repair_rounds = 0 },
+          nan, [] )
+  in
+  let hits =
+    match !store with
+    | Some s -> (Tier.Fleet.store_stats s).Tier.Fleet.st_fleet_hits
+    | None -> 0
+  in
+  { bc_name = name;
+    bc_accesses = Workload.Paging_app.measured_accesses app;
+    bc_mean_us = m2;
+    bc_half2_mean_us = half2;
+    bc_fleet_hits = hits;
+    bc_degraded = fs.Tier.Fleet.degraded_reads;
+    bc_reconstructions = fs.Tier.Fleet.reconstructions;
+    bc_rebuilds = fs.Tier.Fleet.rebuilds;
+    bc_overhead = overhead;
+    bc_nodes = nodes_health }
+
+let bench ?(seed = 42) ?(duration = Time.sec 30) () =
+  let disk =
+    bench_cell ~seed ~duration ~name:"disk" ~redundancy:None ~wipe:false ()
+  in
+  let repl =
+    bench_cell ~seed ~duration ~name:"replicated"
+      ~redundancy:(Some (Tier.Fleet.Replicated 2)) ~wipe:false ()
+  in
+  let ec =
+    bench_cell ~seed ~duration ~name:"erasure"
+      ~redundancy:(Some (Tier.Fleet.Erasure { k = 4; m = 2 })) ~wipe:false ()
+  in
+  let ec_wipe =
+    (* repair off: every post-wipe read pays the reconstruction, so
+       the cell measures the degraded path itself rather than how fast
+       the repair loop erases it *)
+    bench_cell ~seed ~duration ~name:"erasure_wipe"
+      ~redundancy:(Some (Tier.Fleet.Erasure { k = 4; m = 2 })) ~repair:false
+      ~wipe:true ()
+  in
+  let parity_price =
+    if
+      Float.is_nan repl.bc_half2_mean_us
+      || Float.is_nan ec.bc_half2_mean_us
+      || repl.bc_half2_mean_us <= 0.
+    then nan
+    else ec.bc_half2_mean_us /. repl.bc_half2_mean_us
+  in
+  let fin f = not (Float.is_nan f) in
+  let okv =
+    fin parity_price
+    && fin ec_wipe.bc_half2_mean_us
+    && fin disk.bc_half2_mean_us
+    && ec_wipe.bc_half2_mean_us <= 2.0 *. ec.bc_half2_mean_us
+    && disk.bc_half2_mean_us >= 5.0 *. ec_wipe.bc_half2_mean_us
+    && fin ec.bc_overhead
+    && ec.bc_overhead <= 1.55
+    && fin repl.bc_overhead
+    && repl.bc_overhead >= 1.9
+  in
+  { b_seed = seed;
+    b_duration = duration;
+    b_cells = [ disk; repl; ec; ec_wipe ];
+    b_repl_us = repl.bc_half2_mean_us;
+    b_ec_us = ec.bc_half2_mean_us;
+    b_ec_wipe_us = ec_wipe.bc_half2_mean_us;
+    b_disk_us = disk.bc_half2_mean_us;
+    b_parity_price = parity_price;
+    b_ec_overhead = ec.bc_overhead;
+    b_repl_overhead = repl.bc_overhead;
+    b_ok = okv }
+
+let bench_print r =
+  Report.heading "Erasure benchmark: the price of parity, healthy and degraded";
+  Printf.printf
+    "seed %d, %.0f s per cell, hotspot; wipe (if any) at T/2; second-half \
+     windows compared\n\n"
+    r.b_seed (Time.to_sec r.b_duration);
+  Report.table
+    ~header:
+      [ "cell"; "accesses"; "mean us"; "2nd-half us"; "fleet hits";
+        "degraded"; "rebuilds"; "overhead" ]
+    (List.map
+       (fun c ->
+         [ c.bc_name; string_of_int c.bc_accesses; us c.bc_mean_us;
+           us c.bc_half2_mean_us; string_of_int c.bc_fleet_hits;
+           string_of_int c.bc_degraded; string_of_int c.bc_rebuilds;
+           (if Float.is_nan c.bc_overhead then "-"
+            else Printf.sprintf "%.2fx" c.bc_overhead) ])
+       r.b_cells);
+  print_newline ();
+  Printf.printf
+    "parity price: %.2fx the replicated read (%.0f vs %.0f us) at %.2fx \
+     storage instead of %.2fx; degraded %.0f us, disk %.0f us — %s\n"
+    r.b_parity_price r.b_ec_us r.b_repl_us r.b_ec_overhead r.b_repl_overhead
+    r.b_ec_wipe_us r.b_disk_us
+    (if r.b_ok then "no disk-fallback cliff" else "CLIFF (or overhead off)")
+
+let bench_to_json r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.b_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.b_duration));
+  let node h =
+    Printf.sprintf
+      "{\"name\": %S, \"member\": %b, \"used\": %d, \"stores\": %d, \
+       \"serves\": %d, \"failovers\": %d, \"quarantines\": %d}"
+      h.Tier.Fleet.nh_name h.Tier.Fleet.nh_member h.Tier.Fleet.nh_used
+      h.Tier.Fleet.nh_stores h.Tier.Fleet.nh_serves h.Tier.Fleet.nh_failovers
+      h.Tier.Fleet.nh_quarantines
+  in
+  let cell c =
+    Printf.sprintf
+      "{\"cell\": %S, \"accesses\": %d, \"mean_us\": %s, \"half2_mean_us\": \
+       %s, \"fleet_hits\": %d, \"degraded_reads\": %d, \"reconstructions\": \
+       %d, \"rebuilds\": %d, \"storage_overhead\": %s, \"nodes\": [%s]}"
+      c.bc_name c.bc_accesses (jf c.bc_mean_us) (jf c.bc_half2_mean_us)
+      c.bc_fleet_hits c.bc_degraded c.bc_reconstructions c.bc_rebuilds
+      (if Float.is_nan c.bc_overhead then "null"
+       else Printf.sprintf "%.3f" c.bc_overhead)
+      (String.concat ", " (List.map node c.bc_nodes))
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"cells\": [%s],\n"
+       (String.concat ",\n            " (List.map cell r.b_cells)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"replicated_us\": %s, \"erasure_us\": %s, \"erasure_wipe_us\": \
+        %s, \"disk_us\": %s,\n"
+       (jf r.b_repl_us) (jf r.b_ec_us) (jf r.b_ec_wipe_us) (jf r.b_disk_us));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"parity_price\": %s, \"erasure_overhead\": %s, \
+        \"replicated_overhead\": %s,\n"
+       (if Float.is_nan r.b_parity_price then "null"
+        else Printf.sprintf "%.3f" r.b_parity_price)
+       (if Float.is_nan r.b_ec_overhead then "null"
+        else Printf.sprintf "%.3f" r.b_ec_overhead)
+       (if Float.is_nan r.b_repl_overhead then "null"
+        else Printf.sprintf "%.3f" r.b_repl_overhead));
+  Buffer.add_string b (Printf.sprintf "  \"ok\": %b\n" r.b_ok);
+  Buffer.add_string b "}";
+  Buffer.contents b

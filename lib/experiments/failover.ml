@@ -62,14 +62,10 @@ let plan_for ~seed ~duration =
   { Inject.default_plan with
     seed;
     node_faults =
-      [ { Inject.nf_node = node_name 1;
-          nf_wipe_at = Some (Time.ns (d / 3));
-          nf_crash_at = None;
-          nf_partitions = [] };
-        { Inject.nf_node = node_name 2;
-          nf_wipe_at = None;
-          nf_crash_at = None;
-          nf_partitions = [ (Time.ns (d / 2), Time.ns (d * 2 / 3)) ] } ] }
+      [ Inject.node_fault ~wipe_at:(Time.ns (d / 3)) (node_name 1);
+        Inject.node_fault
+          ~partitions:[ (Time.ns (d / 2), Time.ns (d * 2 / 3)) ]
+          (node_name 2) ] }
 
 let build_fleet ~seed sys =
   let nodes =
@@ -88,7 +84,8 @@ let build_fleet ~seed sys =
      250 ms): re-replicating a wiped node takes a large fraction of
      the run, so reads must fail over to survivors in the meantime —
      that window is the point of the experiment. *)
-  ( Tier.Fleet.create ~seed ~replicas:2 ~repair_period:(Time.ms 250)
+  ( Tier.Fleet.create ~seed ~redundancy:(Tier.Fleet.Replicated 2)
+      ~repair_period:(Time.ms 250)
       ~repair_budget:2 ~nodes (System.sim sys),
     nodes )
 
@@ -246,11 +243,13 @@ let to_json r =
        f.Tier.Fleet.repair_rounds);
   let node h =
     Printf.sprintf
-      "{\"name\": %S, \"used\": %d, \"capacity\": %d, \"quarantined\": %b, \
-       \"quarantines\": %d, \"readmissions\": %d}"
-      h.Tier.Fleet.nh_name h.Tier.Fleet.nh_used h.Tier.Fleet.nh_capacity
-      h.Tier.Fleet.nh_quarantined h.Tier.Fleet.nh_quarantines
-      h.Tier.Fleet.nh_readmissions
+      "{\"name\": %S, \"member\": %b, \"used\": %d, \"capacity\": %d, \
+       \"quarantined\": %b, \"quarantines\": %d, \"readmissions\": %d, \
+       \"stores\": %d, \"serves\": %d, \"failovers\": %d}"
+      h.Tier.Fleet.nh_name h.Tier.Fleet.nh_member h.Tier.Fleet.nh_used
+      h.Tier.Fleet.nh_capacity h.Tier.Fleet.nh_quarantined
+      h.Tier.Fleet.nh_quarantines h.Tier.Fleet.nh_readmissions
+      h.Tier.Fleet.nh_stores h.Tier.Fleet.nh_serves h.Tier.Fleet.nh_failovers
   in
   Buffer.add_string b
     (Printf.sprintf "  \"nodes\": [%s],\n"
@@ -371,6 +370,7 @@ type bench_cell = {
   bc_fleet_hits : int;
   bc_failovers : int;
   bc_rebuilds : int;
+  bc_nodes : Tier.Fleet.node_health list;
 }
 
 type bench_result = {
@@ -413,7 +413,10 @@ let bench_cell ~seed ~duration ~name ~fleeted ~wipe =
             in
             (nm, remote, link))
       in
-      Some (Tier.Fleet.create ~seed ~replicas:2 ~nodes (System.sim sys), nodes)
+      Some
+        ( Tier.Fleet.create ~seed ~redundancy:(Tier.Fleet.Replicated 2) ~nodes
+            (System.sim sys),
+          nodes )
     end
   in
   let store = ref None in
@@ -465,16 +468,19 @@ let bench_cell ~seed ~duration ~name ~fleeted ~wipe =
       /. float_of_int (c2 - c1))
     else nan
   in
-  let fs =
+  let fs, nodes_health =
     match fleet_and_nodes with
-    | Some (fleet, _) -> Tier.Fleet.stats fleet
+    | Some (fleet, _) -> (Tier.Fleet.stats fleet, Tier.Fleet.health fleet)
     | None ->
-        { Tier.Fleet.stores = 0; acks = 0; replica_skips = 0;
+        ( { Tier.Fleet.stores = 0; acks = 0; replica_skips = 0;
           replica_timeouts = 0; remote_fulls = 0; lost_primaries = 0;
           failovers = 0; rebuilds = 0; disk_fallbacks = 0;
-          secondary_rebuilds = 0; retransmits = 0; quarantines = 0;
-          readmissions = 0; probes = 0; probe_failures = 0;
-          wipes_applied = 0; repair_rounds = 0 }
+          secondary_rebuilds = 0; lost_shards = 0; degraded_reads = 0;
+          reconstructions = 0; corrupt_shards = 0; migrations = 0;
+          node_joins = 0; node_retires = 0; retransmits = 0;
+          quarantines = 0; readmissions = 0; probes = 0; probe_failures = 0;
+            wipes_applied = 0; repair_rounds = 0 },
+          [] )
   in
   let hits =
     match !store with
@@ -487,7 +493,8 @@ let bench_cell ~seed ~duration ~name ~fleeted ~wipe =
     bc_half2_mean_us = half2;
     bc_fleet_hits = hits;
     bc_failovers = fs.Tier.Fleet.failovers;
-    bc_rebuilds = fs.Tier.Fleet.rebuilds }
+    bc_rebuilds = fs.Tier.Fleet.rebuilds;
+    bc_nodes = nodes_health }
 
 let bench ?(seed = 42) ?(duration = Time.sec 30) () =
   let disk = bench_cell ~seed ~duration ~name:"disk" ~fleeted:false ~wipe:false in
@@ -549,12 +556,22 @@ let bench_to_json r =
   Buffer.add_string b
     (Printf.sprintf "  \"duration_s\": %.0f,\n" (Time.to_sec r.b_duration));
   let j f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
+  let node h =
+    Printf.sprintf
+      "{\"name\": %S, \"used\": %d, \"stores\": %d, \"serves\": %d, \
+       \"failovers\": %d, \"quarantines\": %d}"
+      h.Tier.Fleet.nh_name h.Tier.Fleet.nh_used h.Tier.Fleet.nh_stores
+      h.Tier.Fleet.nh_serves h.Tier.Fleet.nh_failovers
+      h.Tier.Fleet.nh_quarantines
+  in
   let cell c =
     Printf.sprintf
       "{\"cell\": %S, \"accesses\": %d, \"mean_us\": %s, \"half2_mean_us\": \
-       %s, \"fleet_hits\": %d, \"failovers\": %d, \"rebuilds\": %d}"
+       %s, \"fleet_hits\": %d, \"failovers\": %d, \"rebuilds\": %d, \
+       \"nodes\": [%s]}"
       c.bc_name c.bc_accesses (j c.bc_mean_us) (j c.bc_half2_mean_us)
       c.bc_fleet_hits c.bc_failovers c.bc_rebuilds
+      (String.concat ", " (List.map node c.bc_nodes))
   in
   Buffer.add_string b
     (Printf.sprintf "  \"cells\": [%s],\n"

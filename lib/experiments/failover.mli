@@ -64,6 +64,8 @@ type bench_cell = {
   bc_fleet_hits : int;
   bc_failovers : int;
   bc_rebuilds : int;
+  bc_nodes : Tier.Fleet.node_health list;
+      (** per-node end-of-run gauges (stores/serves/failovers) *)
 }
 
 type bench_result = {

@@ -30,6 +30,19 @@ let bench_domain sys ?(guarantee = 256) ?(optimistic = 0) ~name () =
   | Ok d -> d
   | Error e -> failwith ("bench_domain: " ^ System.error_message e)
 
+(* One funnel for experiment verdict escapes: the experiment name and
+   any structured context go to stderr (the exception message often
+   surfaces far from the failing experiment, e.g. under alcotest),
+   then the legacy message raises unchanged so callers and tests
+   matching on [Failure msg] keep working. *)
+let fail_verdict ~experiment ?(context = []) msg =
+  Printf.eprintf "[experiment %s] FAILED: %s\n" experiment msg;
+  List.iter
+    (fun (k, v) -> Printf.eprintf "[experiment %s]   %s = %s\n" experiment k v)
+    context;
+  flush stderr;
+  failwith msg
+
 let mean_span spans =
   match spans with
   | [] -> nan

@@ -20,3 +20,11 @@ val bench_domain :
 
 val mean_span : Time.span list -> float
 (** Mean in microseconds. *)
+
+val fail_verdict :
+  experiment:string -> ?context:(string * string) list -> string -> 'a
+(** Abort an experiment: print the experiment name, the message and
+    each [(key, value)] context pair to stderr, then raise
+    [Failure msg] — the message text is preserved verbatim, so
+    call sites converted from bare [failwith] keep their legacy
+    wording. *)

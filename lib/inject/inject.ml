@@ -52,7 +52,20 @@ type node_fault = {
   nf_wipe_at : Time.t option;
   nf_crash_at : Time.t option;
   nf_partitions : (Time.t * Time.t) list;
+  nf_join_at : Time.t option;
+  nf_retire_at : Time.t option;
+  nf_corrupt : float;
 }
+
+let node_fault ?wipe_at ?crash_at ?(partitions = []) ?join_at ?retire_at
+    ?(corrupt = 0.0) node =
+  { nf_node = node;
+    nf_wipe_at = wipe_at;
+    nf_crash_at = crash_at;
+    nf_partitions = partitions;
+    nf_join_at = join_at;
+    nf_retire_at = retire_at;
+    nf_corrupt = corrupt }
 
 type plan = {
   seed : int;
@@ -109,6 +122,9 @@ type tally = {
   node_wipes : int;
   node_crashes : int;
   node_partitions : int;
+  node_joins : int;
+  node_retires : int;
+  shard_corruptions : int;
   pressure_bursts : int;
   zpool_bursts : int;
   crashes : int;
@@ -130,6 +146,9 @@ let zero_tally =
     node_wipes = 0;
     node_crashes = 0;
     node_partitions = 0;
+    node_joins = 0;
+    node_retires = 0;
+    shard_corruptions = 0;
     pressure_bursts = 0;
     zpool_bursts = 0;
     crashes = 0;
@@ -394,6 +413,65 @@ let node_wipe_due ~name ~now =
         in
         let crashed = due "crashwipe" (fun () -> ()) nf.nf_crash_at in
         wiped || crashed
+
+(* Membership events share the one-shot machinery: the first
+   consultation at/after the planned time answers [true] and the
+   caller (the fleet) must apply the join/retire. Virtual-time
+   driven, never dice, so a plan names exactly who joins when. *)
+let membership_due kind field bump ~name ~now =
+  if not !enabled then false
+  else
+    match node_plan name with
+    | None -> false
+    | Some nf -> (
+        match field nf with
+        | Some t when now >= t ->
+            let key = kind ^ ":" ^ name in
+            if Hashtbl.mem node_fired key then false
+            else begin
+              Hashtbl.replace node_fired key ();
+              bump ();
+              true
+            end
+        | _ -> false)
+
+let node_join_due ~name ~now =
+  membership_due "join"
+    (fun nf -> nf.nf_join_at)
+    (fun () ->
+      counts := { !counts with node_joins = !counts.node_joins + 1 };
+      bump_class ("node.join." ^ name);
+      metric "node_joins")
+    ~name ~now
+
+let node_retire_due ~name ~now =
+  membership_due "retire"
+    (fun nf -> nf.nf_retire_at)
+    (fun () ->
+      counts := { !counts with node_retires = !counts.node_retires + 1 };
+      bump_class ("node.retire." ^ name);
+      metric "node_retires")
+    ~name ~now
+
+(* Per-shard-fetch consultation: the named node flips a bit in the
+   shard it is serving, the receiver's checksum catches it, and the
+   tier layer must treat the shard as lost (reconstruct / rebuild /
+   fall to disk — its own books answer it, like link drops). *)
+let shard_corrupt ~name =
+  if not !enabled then false
+  else
+    match node_plan name with
+    | None -> false
+    | Some nf ->
+        if chance nf.nf_corrupt then begin
+          counts :=
+            { !counts with
+              shard_corruptions = !counts.shard_corruptions + 1 };
+          bump_class ("shard.corrupt." ^ name);
+          metric "shard_corruptions";
+          true
+        end
+        else false
 
 let pressure () = if not !enabled then None else !the_plan.pressure
 

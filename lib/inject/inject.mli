@@ -108,11 +108,34 @@ type node_fault = {
   nf_partitions : (Time.t * Time.t) list;
       (** [[(from, until); ...]] windows during which the node is
           unreachable; contents survive and it answers again after *)
+  nf_join_at : Time.t option;
+      (** a standby node joins the fleet membership at this time *)
+  nf_retire_at : Time.t option;
+      (** the node is retired (drained, then unused) at this time *)
+  nf_corrupt : float;
+      (** probability per shard/copy fetch that the served bytes fail
+          their checksum — detected corruption, treated as a lost
+          shard by the tier layer *)
 }
-(** Node-scoped faults for the replicated remote tier: a node can be
-    wiped (amnesia), crashed (permanent loss) or partitioned away for
-    a window. All three are driven by virtual time, not dice, so a
-    plan names exactly which node fails when. *)
+(** Node-scoped faults for the replicated/erasure-coded remote tier:
+    a node can be wiped (amnesia), crashed (permanent loss) or
+    partitioned away for a window; membership can change (join /
+    retire); and served shards can arrive corrupted. Wipes, crashes,
+    partitions and membership changes are driven by virtual time, not
+    dice, so a plan names exactly which node fails when; corruption
+    is probabilistic on the plan's seeded stream. *)
+
+val node_fault :
+  ?wipe_at:Time.t ->
+  ?crash_at:Time.t ->
+  ?partitions:(Time.t * Time.t) list ->
+  ?join_at:Time.t ->
+  ?retire_at:Time.t ->
+  ?corrupt:float ->
+  string ->
+  node_fault
+(** [node_fault name] with nothing planned; each optional argument
+    arms one fault site on the named node. *)
 
 type plan = {
   seed : int;
@@ -184,6 +207,23 @@ val node_wipe_due : name:string -> now:Time.t -> bool
     [nf_crash_at] — a crashed node loses its contents too), and the
     caller must empty the node's page pool. *)
 
+val node_join_due : name:string -> now:Time.t -> bool
+(** One-shot per arm/reset: [true] on the first consultation at/after
+    the node's [nf_join_at] — the fleet must admit the standby node
+    into membership and rebalance. *)
+
+val node_retire_due : name:string -> now:Time.t -> bool
+(** One-shot per arm/reset: [true] on the first consultation at/after
+    the node's [nf_retire_at] — the fleet must drop the node from
+    placement and migrate its copies away (budgeted, like repair). *)
+
+val shard_corrupt : name:string -> bool
+(** Consulted once per shard/copy fetched from the named node:
+    [true] means the served bytes failed their checksum (a detected
+    bit-flip). The tier layer treats the shard as lost — reconstruct,
+    rebuild or fall back — answered by its own books, outside the
+    {!accounted} equation. *)
+
 val pressure : unit -> pressure option
 
 val zpool_pressure : unit -> zpool_pressure option
@@ -222,6 +262,9 @@ type tally = {
   node_wipes : int;  (** node wipes applied (amnesia, node stays up) *)
   node_crashes : int;  (** nodes gone for good *)
   node_partitions : int;  (** partition windows entered *)
+  node_joins : int;  (** standby nodes joined into membership *)
+  node_retires : int;  (** nodes retired out of membership *)
+  shard_corruptions : int;  (** checksum-detected corrupt shard serves *)
   pressure_bursts : int;
   zpool_bursts : int;  (** compressed-tier budget-shrink bursts fired *)
   crashes : int;  (** crash points fired (torn writes) *)

@@ -1,0 +1,13 @@
+let table : (string * int, int ref) Hashtbl.t = Hashtbl.create 256
+
+let note ~owner ~slot =
+  match Hashtbl.find_opt table (owner, slot) with
+  | Some r -> incr r
+  | None -> Hashtbl.replace table (owner, slot) (ref 1)
+
+let count ~owner ~slot =
+  match Hashtbl.find_opt table (owner, slot) with
+  | Some r -> !r
+  | None -> 0
+
+let reset () = Hashtbl.reset table

@@ -1,0 +1,21 @@
+(** Per-page fault-heat registry.
+
+    A tiny counter table keyed by (owner, slot): each remote-tier
+    fault that misses the local cache bumps the page's heat, and the
+    fleet's repair loop orders its rebuild queue hottest-first so the
+    pages domains are actually faulting on regain full redundancy
+    before cold ones. Like the rest of {!Obs} the registry is
+    observation only — it never changes what is rebuilt, only the
+    order — and it is cleared by {!Obs.reset} so runs stay
+    reproducible. *)
+
+val note : owner:string -> slot:int -> unit
+(** Bump the page's heat by one. Callers guard with [!Obs.enabled]
+    themselves (matching the other observation hooks). *)
+
+val count : owner:string -> slot:int -> int
+(** Faults recorded against the page since the last {!reset};
+    [0] for never-faulted pages. *)
+
+val reset : unit -> unit
+(** Forget all heat (called from {!Obs.reset}). *)

@@ -5,33 +5,43 @@ let page_bytes = 8192 (* mirrors Store; one page on the wire *)
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
 
+type redundancy = Replicated of int | Erasure of { k : int; m : int }
+
 type node = {
   nd_idx : int;
   nd_name : string;
   nd_remote : Remote_node.t;
   nd_link : Usnet.Link.t;
   nd_repair : Usnet.Link.client; (* fleet-owned probe/repair client *)
+  mutable nd_member : bool; (* in the placement ring right now *)
   mutable nd_streak : int; (* consecutive timeouts *)
   mutable nd_quarantined : bool;
   mutable nd_next_probe : Time.t;
   mutable nd_quarantines : int;
   mutable nd_readmissions : int;
+  mutable nd_stores : int; (* entries this node acked *)
+  mutable nd_serves : int; (* reads this node answered *)
+  mutable nd_failovers : int; (* reads it answered as a failover *)
 }
 
 type t = {
   sim : Sim.t;
   seed : int;
-  replicas : int;
+  mode : redundancy;
+  ec : Ec.code option; (* Some iff mode is Erasure *)
+  width : int; (* entries placed per page: R, or k + m *)
   quarantine_after : int;
   probe_period : Time.span;
   repair_period : Time.span;
   repair_budget : int;
   link_retries : int;
   retx_timeout : Time.span;
-  nodes : node array;
+  nodes : node array; (* members first, then standby *)
   (* the placement book: pages the fleet believes it holds, keyed by
-     [(owner, slot)], mapped to the replica node indices (primary
-     first). Recorded only when at least one node acked the copy. *)
+     [(owner, slot)], mapped to the node index per stripe position
+     (replicated: copy 0 = primary; erasure: position = shard index).
+     Recorded only when enough entries were acked to recover the
+     page. Repair mutates entries in place as it migrates shards. *)
   pages : (string * int, int array) Hashtbl.t;
   mutable s_stores : int;
   mutable s_acks : int;
@@ -43,6 +53,13 @@ type t = {
   mutable s_rebuilds : int;
   mutable s_disk_fallbacks : int;
   mutable s_secondary_rebuilds : int;
+  mutable s_lost_shards : int;
+  mutable s_degraded_reads : int;
+  mutable s_reconstructions : int;
+  mutable s_corrupt_shards : int;
+  mutable s_migrations : int;
+  mutable s_node_joins : int;
+  mutable s_node_retires : int;
   mutable s_retransmits : int;
   mutable s_quarantines : int;
   mutable s_readmissions : int;
@@ -63,6 +80,13 @@ type stats = {
   rebuilds : int;
   disk_fallbacks : int;
   secondary_rebuilds : int;
+  lost_shards : int;
+  degraded_reads : int;
+  reconstructions : int;
+  corrupt_shards : int;
+  migrations : int;
+  node_joins : int;
+  node_retires : int;
   retransmits : int;
   quarantines : int;
   readmissions : int;
@@ -74,12 +98,16 @@ type stats = {
 
 type node_health = {
   nh_name : string;
+  nh_member : bool;
   nh_used : int;
   nh_capacity : int;
   nh_quarantined : bool;
   nh_streak : int;
   nh_quarantines : int;
   nh_readmissions : int;
+  nh_stores : int;
+  nh_serves : int;
+  nh_failovers : int;
 }
 
 type store = {
@@ -125,9 +153,23 @@ let node_gauges nd =
   if !Obs.enabled then begin
     let g n v = Obs.Metrics.set_gauge ~label:nd.nd_name ("fleet.node." ^ n) v in
     g "used_pages" (float_of_int (Remote_node.used_pages nd.nd_remote));
+    g "member" (if nd.nd_member then 1.0 else 0.0);
     g "quarantined" (if nd.nd_quarantined then 1.0 else 0.0);
     g "streak" (float_of_int nd.nd_streak)
   end
+
+(* Which shard an entry at stripe position [p] is keyed as at the
+   node: replicated copies are all the whole page (shard 0), erasure
+   positions are distinct shards. *)
+let shard_of t p = match t.ec with None -> 0 | Some _ -> p
+
+(* Bytes of one entry on the wire: a whole page, or one shard. *)
+let xfer_len t =
+  match t.ec with None -> page_bytes | Some c -> Ec.shard_length c ~page_bytes
+
+(* Acked entries needed before a placement is worth booking: one copy
+   recovers a replicated page, k shards an erasure-coded one. *)
+let min_placed t = match t.ec with None -> 1 | Some c -> Ec.k c
 
 (* ------------------------------------------------------------------ *)
 (* Placement: seeded rendezvous (highest-random-weight) hashing        *)
@@ -147,22 +189,42 @@ let weight t ~node_name ~owner ~slot =
     lxor (Hashtbl.hash owner * 0x9e3779b9)
     lxor (slot * 0x85ebca6b))
 
-(* Every node scores the page; the R highest win, the highest is
-   primary. A pure function of (seed, node names, owner, slot), so a
-   restarted fleet over the same nodes recomputes the same book. *)
+(* Every member node scores the page; the [width] highest win (the
+   highest is the primary / shard 0). A pure function of (seed,
+   member names, owner, slot), so a restarted fleet over the same
+   membership recomputes the same book — and a membership change
+   re-ranks with minimal movement: pages whose top [width] set does
+   not involve the joined/retired node keep their placement. *)
 let placement t ~owner ~slot =
+  let scored = ref [] in
+  Array.iter
+    (fun nd ->
+      if nd.nd_member then
+        scored :=
+          (weight t ~node_name:nd.nd_name ~owner ~slot, nd.nd_idx) :: !scored)
+    t.nodes;
   let scored =
-    Array.map
-      (fun nd -> (weight t ~node_name:nd.nd_name ~owner ~slot, nd.nd_idx))
-      t.nodes
+    List.sort (fun (wa, ia) (wb, ib) -> compare (wb, ib) (wa, ia)) !scored
   in
-  Array.sort (fun (wa, ia) (wb, ib) -> compare (wb, ib) (wa, ia)) scored;
-  Array.init t.replicas (fun i -> snd scored.(i))
+  Array.of_list
+    (List.filteri (fun n _ -> n < t.width) scored |> List.map snd)
 
 let node_names t = Array.map (fun nd -> nd.nd_name) t.nodes
 
+let member_names t =
+  Array.of_list
+    (Array.to_list t.nodes
+    |> List.filter (fun nd -> nd.nd_member)
+    |> List.map (fun nd -> nd.nd_name))
+
+let member_count t =
+  Array.fold_left (fun n nd -> if nd.nd_member then n + 1 else n) 0 t.nodes
+
+let redundancy (t : t) = t.mode
+let stripe_width t = t.width
+
 (* ------------------------------------------------------------------ *)
-(* Node health                                                         *)
+(* Node health and membership                                          *)
 
 let quarantine t nd =
   if not nd.nd_quarantined then begin
@@ -188,10 +250,48 @@ let readmit t nd =
   metric "readmit";
   node_gauges nd
 
-(* Wipes are applied lazily: before any fleet operation consults a
-   node's contents, honour any pending {!Inject.node_wipe_due} (a
-   crash implies a wipe — the RAM went with the node). *)
-let poll_wipes t =
+let find_node t name =
+  Array.to_list t.nodes |> List.find_opt (fun nd -> nd.nd_name = name)
+
+let apply_join t nd =
+  nd.nd_member <- true;
+  t.s_node_joins <- t.s_node_joins + 1;
+  metric "node_join";
+  node_gauges nd
+
+let apply_retire t nd =
+  nd.nd_member <- false;
+  t.s_node_retires <- t.s_node_retires + 1;
+  metric "node_retire";
+  node_gauges nd
+
+let add_node t ~name =
+  match find_node t name with
+  | None -> invalid_arg ("Fleet.add_node: unknown node " ^ name)
+  | Some nd ->
+      if nd.nd_member then
+        invalid_arg ("Fleet.add_node: already a member: " ^ name);
+      apply_join t nd
+
+let retire_node t ~name =
+  match find_node t name with
+  | None -> invalid_arg ("Fleet.retire_node: unknown node " ^ name)
+  | Some nd ->
+      if not nd.nd_member then
+        invalid_arg ("Fleet.retire_node: not a member: " ^ name);
+      if member_count t - 1 < t.width then
+        invalid_arg
+          ("Fleet.retire_node: would leave fewer members than the stripe \
+            width: " ^ name);
+      apply_retire t nd
+
+(* Faults are applied lazily: before any fleet operation consults a
+   node's contents or the placement, honour pending wipes (a crash
+   implies a wipe — the RAM went with the node) and membership
+   changes from the chaos plan. Joins land before retires so a plan
+   that swaps a node in and another out in the same instant never
+   dips below the stripe width. *)
+let poll_faults t =
   let now = Sim.now t.sim in
   Array.iter
     (fun nd ->
@@ -200,18 +300,27 @@ let poll_wipes t =
         t.s_wipes_applied <- t.s_wipes_applied + 1;
         metric "wipe";
         node_gauges nd
-      end)
+      end;
+      if (not nd.nd_member) && Inject.node_join_due ~name:nd.nd_name ~now then
+        apply_join t nd)
+    t.nodes;
+  Array.iter
+    (fun nd ->
+      if
+        nd.nd_member && member_count t > t.width
+        && Inject.node_retire_due ~name:nd.nd_name ~now
+      then apply_retire t nd)
     t.nodes
 
 (* ------------------------------------------------------------------ *)
 (* Link transfers                                                      *)
 
-(* MTU-sized fragments of one page, smallest last (per node link). *)
-let fragments nd =
+(* MTU-sized fragments of one [len]-byte entry, smallest last (per
+   node link). *)
+let fragments nd len =
   let mtu = (Usnet.Link.params nd.nd_link).Usnet.Net_params.mtu in
-  let n = (page_bytes + mtu - 1) / mtu in
-  List.init n (fun i ->
-      if i = n - 1 then page_bytes - ((n - 1) * mtu) else mtu)
+  let n = (len + mtu - 1) / mtu in
+  List.init n (fun i -> if i = n - 1 then len - ((n - 1) * mtu) else mtu)
 
 (* One packet towards [nd] on [client]. The transmit burns the
    client's slice whether or not the far end is reachable — the
@@ -259,45 +368,78 @@ let send_frags t nd client ~retries frags =
   in
   go frags
 
-(* Push one page to [nd]: fragments out, node service, store. Health
-   is noted here; the caller classifies the outcome. *)
-let push_page t nd client ~retries ~owner ~slot =
-  match send_frags t nd client ~retries (fragments nd) with
+(* Fan [jobs] out as child processes and wait for them all. A stripe
+   touches every node at once, but each leg rides a distinct node
+   link under a distinct client of the same domain, so the domain is
+   still charged per link while the stripe costs its slowest leg, not
+   the sum of k + m serial transfers — without this a (4, 2) stripe
+   pays ~6x the replicated path's latency per fault and queues
+   collapse under load. Spawn order is fixed and the sim's event loop
+   is deterministic, so same-seed runs stay byte-identical. *)
+let in_parallel t jobs =
+  match jobs with
+  | [] -> ()
+  | [ job ] -> job ()
+  | jobs ->
+      List.map (fun job -> Proc.spawn ~name:"fleet.xfer" t.sim job) jobs
+      |> List.iter Proc.join
+
+(* Push one entry (copy or shard) to [nd]: fragments out, node
+   service, store. Health is noted here; the caller classifies the
+   outcome. *)
+let push_page t nd client ~retries ~shard ~owner ~slot =
+  match send_frags t nd client ~retries (fragments nd (xfer_len t)) with
   | Error `Timeout ->
       note_timeout t nd;
       `Timeout
   | Ok () -> (
       Proc.sleep (Remote_node.service_time nd.nd_remote);
       note_ok nd;
-      match Remote_node.store nd.nd_remote ~owner ~slot with
+      match Remote_node.store nd.nd_remote ~shard ~owner ~slot with
       | Ok () ->
           t.s_acks <- t.s_acks + 1;
+          nd.nd_stores <- nd.nd_stores + 1;
           `Acked
       | Error `Remote_full -> `Full)
 
-(* Pull one page back from [nd]: 64-byte request out, node service,
+(* Pull one entry back from [nd]: 64-byte request out, node service,
    fragments back — all on [client]'s guarantee. [`Stale] is a miss
    reply: the node answered (health-wise it is fine) but no longer
-   holds the copy. *)
-let fetch_page t nd client ~retries ~owner ~slot =
+   holds the entry. *)
+let fetch_page t nd client ~retries ~shard ~owner ~slot =
   match send_frag t nd client ~retries 64 with
   | Error `Timeout ->
       note_timeout t nd;
       `Timeout
   | Ok () ->
       Proc.sleep (Remote_node.service_time nd.nd_remote);
-      if not (Remote_node.holds nd.nd_remote ~owner ~slot) then begin
+      if not (Remote_node.holds nd.nd_remote ~shard ~owner ~slot) then begin
         note_ok nd;
         `Stale
       end
       else (
-        match send_frags t nd client ~retries (fragments nd) with
+        match send_frags t nd client ~retries (fragments nd (xfer_len t)) with
         | Ok () ->
             note_ok nd;
             `Ok
         | Error `Timeout ->
             note_timeout t nd;
             `Timeout)
+
+(* Fetch plus checksum verification: the {!Inject.shard_corrupt} site
+   fires once per entry actually served, and a detected bit-flip is
+   treated exactly like a lost entry — reconstruct, fail over or
+   rebuild; never silently returned. *)
+let fetch_shard t nd client ~retries ~shard ~owner ~slot =
+  match fetch_page t nd client ~retries ~shard ~owner ~slot with
+  | `Ok ->
+      if Inject.shard_corrupt ~name:nd.nd_name then begin
+        t.s_corrupt_shards <- t.s_corrupt_shards + 1;
+        metric "corrupt_shard";
+        `Corrupt
+      end
+      else `Ok
+  | (`Stale | `Timeout) as e -> e
 
 (* ------------------------------------------------------------------ *)
 (* Probe / repair                                                      *)
@@ -319,85 +461,192 @@ let probe_due t =
     (fun nd -> if nd.nd_quarantined && now >= nd.nd_next_probe then probe t nd)
     t.nodes
 
-(* Rebuild one copy: read it from [src], write it to [dst], both over
-   the fleet's own repair clients. The placement book is re-checked
-   after the transfers — the owning domain may have overwritten the
-   page while the copy was on the wire, in which case the rebuilt
-   bytes are stale and must not be stored. *)
-let repair_copy t ~src ~dst ~owner ~slot =
-  match fetch_page t src src.nd_repair ~retries:t.link_retries ~owner ~slot with
-  | (`Timeout | `Stale) as e -> e
-  | `Ok -> (
-      if not (Hashtbl.mem t.pages (owner, slot)) then `Stale
-      else
-        match
-          push_page t dst dst.nd_repair ~retries:t.link_retries ~owner ~slot
-        with
-        | `Acked ->
-            t.s_stores <- t.s_stores + 1;
-            metric "store";
-            `Acked
-        | (`Full | `Timeout) as e -> e)
+(* The book entry is re-checked by physical equality after every
+   transfer: the owning domain may have overwritten the page while
+   bytes were on the wire (drop + re-demote installs a fresh array),
+   in which case the rebuilt entry is stale and must not be stored. *)
+let book_fresh t ~reps ~owner ~slot =
+  match Hashtbl.find_opt t.pages (owner, slot) with
+  | Some r when r == reps -> true
+  | _ -> false
+
+(* Materialise the entry for stripe position [p] at [dst], over the
+   fleet's own repair clients.
+
+   Cheap path first: if a live node still serves that very entry
+   (any surviving copy in replicated mode; position [p]'s recorded
+   holder in erasure mode), one fetch + one push moves it — this is
+   what makes membership rebalancing "minimal movement". Otherwise a
+   replicated page with no surviving copy cannot be repaired
+   ([`No_source]; the read path answers), while an erasure-coded
+   page is reconstructed from any [k] live shards: [k] shard fetches
+   plus one shard push, the real price of parity repair. *)
+let rebuild_shard t ~reps ~owner ~slot ~p ~dst =
+  let live i = not t.nodes.(i).nd_quarantined in
+  let holds q i =
+    Remote_node.holds t.nodes.(i).nd_remote ~shard:(shard_of t q) ~owner ~slot
+  in
+  let push () =
+    if not (book_fresh t ~reps ~owner ~slot) then `Stale
+    else
+      match
+        push_page t dst dst.nd_repair ~retries:t.link_retries
+          ~shard:(shard_of t p) ~owner ~slot
+      with
+      | `Acked ->
+          t.s_stores <- t.s_stores + 1;
+          metric "store";
+          `Acked
+      | (`Full | `Timeout) as e -> e
+  in
+  let direct_src =
+    match t.ec with
+    | None ->
+        (* any copy is the page *)
+        let src = ref None in
+        Array.iter
+          (fun i ->
+            if !src = None && i <> dst.nd_idx && live i && holds 0 i then
+              src := Some i)
+          reps;
+        !src
+    | Some _ ->
+        let i = reps.(p) in
+        if i <> dst.nd_idx && live i && holds p i then Some i else None
+  in
+  match direct_src with
+  | Some i -> (
+      let src = t.nodes.(i) in
+      match
+        fetch_shard t src src.nd_repair ~retries:t.link_retries
+          ~shard:(shard_of t p) ~owner ~slot
+      with
+      | (`Timeout | `Stale | `Corrupt) as e -> e
+      | `Ok -> push ())
+  | None -> (
+      match t.ec with
+      | None -> `No_source
+      | Some c ->
+          let k = Ec.k c in
+          let srcs = ref [] and n = ref 0 in
+          Array.iteri
+            (fun q i ->
+              if !n < k && q <> p && live i && holds q i then begin
+                incr n;
+                srcs := (q, i) :: !srcs
+              end)
+            reps;
+          if !n < k then `No_source
+          else begin
+            let rec pull = function
+              | [] -> push ()
+              | (q, i) :: rest -> (
+                  let src = t.nodes.(i) in
+                  match
+                    fetch_shard t src src.nd_repair ~retries:t.link_retries
+                      ~shard:(shard_of t q) ~owner ~slot
+                  with
+                  | `Ok -> pull rest
+                  | (`Timeout | `Stale | `Corrupt) as e -> e)
+            in
+            pull (List.rev !srcs)
+          end)
 
 let repair_round t =
   t.s_repair_rounds <- t.s_repair_rounds + 1;
-  poll_wipes t;
+  poll_faults t;
   probe_due t;
   let budget = ref t.repair_budget in
-  (* deterministic scan order regardless of hash-table internals *)
+  (* Demand-driven order: hottest pages first — the per-page fault
+     counts {!Obs.Heat} accumulates — with the (owner, slot) key as a
+     deterministic tie-break (and the whole order when observability
+     is off, matching the old book-scan behaviour). *)
+  let heat (owner, slot) = Obs.Heat.count ~owner ~slot in
   let book =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pages []
-    |> List.sort compare
+    |> List.sort (fun (ka, _) (kb, _) ->
+           let ha = heat ka and hb = heat kb in
+           if ha <> hb then compare hb ha else compare ka kb)
   in
   List.iter
     (fun ((owner, slot), reps) ->
       if !budget > 0 then begin
-        let holds i =
-          Remote_node.holds t.nodes.(i).nd_remote ~owner ~slot
-        in
-        let live i = not t.nodes.(i).nd_quarantined in
-        match Array.to_list reps |> List.filter (fun i -> live i && holds i) with
-        | [] -> () (* no reachable survivor; the read path answers *)
-        | src_idx :: _ ->
-            let src = t.nodes.(src_idx) in
-            Array.iter
-              (fun i ->
-                if !budget > 0 && live i && not (holds i) then begin
-                  decr budget;
-                  match
-                    repair_copy t ~src ~dst:t.nodes.(i) ~owner ~slot
-                  with
-                  | `Acked ->
-                      if i = reps.(0) then begin
-                        (* the primary was gone and repair answered *)
-                        t.s_lost_primaries <- t.s_lost_primaries + 1;
-                        t.s_rebuilds <- t.s_rebuilds + 1;
-                        metric "rebuild"
-                      end
-                      else begin
-                        t.s_secondary_rebuilds <- t.s_secondary_rebuilds + 1;
-                        metric "secondary_rebuild"
-                      end
-                  | `Full | `Timeout | `Stale -> ()
-                end)
-              reps
+        let want = placement t ~owner ~slot in
+        for p = 0 to t.width - 1 do
+          if !budget > 0 then begin
+            let cur = reps.(p) and tgt = want.(p) in
+            let cur_nd = t.nodes.(cur) and tgt_nd = t.nodes.(tgt) in
+            let cur_has =
+              (not cur_nd.nd_quarantined)
+              && Remote_node.holds cur_nd.nd_remote ~shard:(shard_of t p)
+                   ~owner ~slot
+            in
+            if (not (cur_has && cur = tgt)) && not tgt_nd.nd_quarantined
+            then begin
+              decr budget;
+              match rebuild_shard t ~reps ~owner ~slot ~p ~dst:tgt_nd with
+              | `Acked ->
+                  (if cur_has && cur <> tgt then begin
+                     (* rebalance: the entry lived, it just moved *)
+                     Remote_node.drop cur_nd.nd_remote ~shard:(shard_of t p)
+                       ~owner ~slot;
+                     t.s_migrations <- t.s_migrations + 1;
+                     metric "migrate"
+                   end
+                   else
+                     match t.ec with
+                     | Some _ ->
+                         (* a lost shard observed and answered here *)
+                         t.s_lost_shards <- t.s_lost_shards + 1;
+                         t.s_rebuilds <- t.s_rebuilds + 1;
+                         metric "shard_rebuild"
+                     | None ->
+                         if p = 0 then begin
+                           (* the primary was gone and repair answered *)
+                           t.s_lost_primaries <- t.s_lost_primaries + 1;
+                           t.s_rebuilds <- t.s_rebuilds + 1;
+                           metric "rebuild"
+                         end
+                         else begin
+                           t.s_secondary_rebuilds <-
+                             t.s_secondary_rebuilds + 1;
+                           metric "secondary_rebuild"
+                         end);
+                  reps.(p) <- tgt
+              | `No_source | `Full | `Timeout | `Stale | `Corrupt -> ()
+            end
+          end
+        done
       end)
     book;
-  Array.iter (node_gauges) t.nodes
+  Array.iter node_gauges t.nodes
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
-let create ?(replicas = 2) ?(quarantine_after = 3)
-    ?(probe_period = Time.ms 50) ?(repair_period = Time.ms 25)
-    ?(repair_budget = 8) ?(link_retries = 3) ?(retx_timeout = Time.ms 1)
-    ?(repair_qos = (Time.ms 20, Time.ms 2)) ?(repair = true) ~seed ~nodes sim =
+let create ?(redundancy = Replicated 2) ?(standby = [])
+    ?(quarantine_after = 3) ?(probe_period = Time.ms 50)
+    ?(repair_period = Time.ms 25) ?(repair_budget = 8) ?(link_retries = 3)
+    ?(retx_timeout = Time.ms 1) ?(repair_qos = (Time.ms 20, Time.ms 2))
+    ?(repair = true) ~seed ~nodes sim =
   if nodes = [] then invalid_arg "Fleet.create: empty node list";
-  if replicas < 1 then invalid_arg "Fleet.create: replicas must be >= 1";
   if quarantine_after < 1 then
     invalid_arg "Fleet.create: quarantine_after must be >= 1";
+  let members = List.length nodes in
+  let ec, width =
+    match redundancy with
+    | Replicated r ->
+        if r < 1 then invalid_arg "Fleet.create: replicas must be >= 1";
+        (None, min r members)
+    | Erasure { k; m } ->
+        let c = Ec.make ~k ~m in
+        (* Ec.make validated the (k, m) ranges *)
+        if k + m > members then
+          invalid_arg "Fleet.create: erasure needs k + m member nodes";
+        (Some c, k + m)
+  in
   let period, slice = repair_qos in
-  let mk_node i (name, remote, link) =
+  let mk_node member i (name, remote, link) =
     if name <> Usnet.Link.name link then
       invalid_arg
         (Printf.sprintf "Fleet.create: node %s does not match its link %s"
@@ -418,23 +667,33 @@ let create ?(replicas = 2) ?(quarantine_after = 3)
       nd_remote = remote;
       nd_link = link;
       nd_repair = repair_client;
+      nd_member = member;
       nd_streak = 0;
       nd_quarantined = false;
       nd_next_probe = Time.zero;
       nd_quarantines = 0;
-      nd_readmissions = 0 }
+      nd_readmissions = 0;
+      nd_stores = 0;
+      nd_serves = 0;
+      nd_failovers = 0 }
+  in
+  let all =
+    List.mapi (mk_node true) nodes
+    @ List.mapi (fun i n -> mk_node false (members + i) n) standby
   in
   let t =
     { sim;
       seed;
-      replicas = min replicas (List.length nodes);
+      mode = redundancy;
+      ec;
+      width;
       quarantine_after;
       probe_period;
       repair_period;
       repair_budget;
       link_retries;
       retx_timeout;
-      nodes = Array.of_list (List.mapi mk_node nodes);
+      nodes = Array.of_list all;
       pages = Hashtbl.create 256;
       s_stores = 0;
       s_acks = 0;
@@ -446,6 +705,13 @@ let create ?(replicas = 2) ?(quarantine_after = 3)
       s_rebuilds = 0;
       s_disk_fallbacks = 0;
       s_secondary_rebuilds = 0;
+      s_lost_shards = 0;
+      s_degraded_reads = 0;
+      s_reconstructions = 0;
+      s_corrupt_shards = 0;
+      s_migrations = 0;
+      s_node_joins = 0;
+      s_node_retires = 0;
       s_retransmits = 0;
       s_quarantines = 0;
       s_readmissions = 0;
@@ -534,15 +800,16 @@ let drop_cache st s =
 
 let tracked st s = Hashtbl.mem st.fl.pages (st.owner, s)
 
-(* Fresh contents for a slot: every replica copy is stale. The drops
+(* Fresh contents for a slot: every stored entry is stale. The drops
    are metadata at the nodes; the placement-book entry goes with
    them, so the fleet never serves the old bytes. *)
 let drop_fleet st s =
   match Hashtbl.find_opt st.fl.pages (st.owner, s) with
   | Some reps ->
-      Array.iter
-        (fun i ->
-          Remote_node.drop st.fl.nodes.(i).nd_remote ~owner:st.owner ~slot:s)
+      Array.iteri
+        (fun p i ->
+          Remote_node.drop st.fl.nodes.(i).nd_remote
+            ~shard:(shard_of st.fl p) ~owner:st.owner ~slot:s)
         reps;
       Hashtbl.remove st.fl.pages (st.owner, s)
   | None -> ()
@@ -559,50 +826,63 @@ let disk_write_slot st s =
       st.sx_lost_slots <- st.sx_lost_slots + 1
   | Error (`Retired | `Crashed) -> ()
 
-(* Push one evicted slot to its replica set. Inclusive with the
-   fleet: a slot already in the placement book just leaves the
-   cache. Quarantined replicas are skipped (repair rebuilds them);
-   the eviction succeeds if at least one node acked. *)
+(* Push one evicted slot to its stripe. Inclusive with the fleet: a
+   slot already in the placement book just leaves the cache.
+   Quarantined nodes are skipped (repair rebuilds their entries); the
+   eviction succeeds if enough entries were acked to recover the page
+   — one copy, or k shards. An under-placed erasure stripe is
+   useless, so its acked shards are taken back before falling to the
+   disk floor (no leaked node entries). *)
 let demote st s =
   if (not (tracked st s)) && not st.dead.(s) then begin
     let t = st.fl in
-    poll_wipes t;
+    poll_faults t;
     let dirty = not st.disk_valid.(s) in
     let reps = placement t ~owner:st.owner ~slot:s in
+    let acked = Array.make (Array.length reps) false in
     let placed = ref 0 in
-    Array.iter
-      (fun i ->
-        let nd = t.nodes.(i) in
-        if nd.nd_quarantined then
-          t.s_replica_skips <- t.s_replica_skips + 1
-        else if not (Remote_node.has_room nd.nd_remote) then begin
-          (* known-full before any byte moves, as in Store *)
-          t.s_remote_fulls <- t.s_remote_fulls + 1;
-          metric "remote_full"
-        end
-        else
-          match
-            push_page t nd st.clients.(i) ~retries:t.link_retries
-              ~owner:st.owner ~slot:s
-          with
-          | `Acked ->
-              incr placed;
-              t.s_stores <- t.s_stores + 1;
-              metric "store"
-          | `Full ->
-              t.s_remote_fulls <- t.s_remote_fulls + 1;
-              metric "remote_full"
-          | `Timeout -> t.s_replica_timeouts <- t.s_replica_timeouts + 1)
-      reps;
-    if !placed > 0 then begin
+    let push_one p =
+      let i = reps.(p) in
+      let nd = t.nodes.(i) in
+      if nd.nd_quarantined then t.s_replica_skips <- t.s_replica_skips + 1
+      else if not (Remote_node.has_room nd.nd_remote) then begin
+        (* known-full before any byte moves, as in Store *)
+        t.s_remote_fulls <- t.s_remote_fulls + 1;
+        metric "remote_full"
+      end
+      else
+        match
+          push_page t nd st.clients.(i) ~retries:t.link_retries
+            ~shard:(shard_of t p) ~owner:st.owner ~slot:s
+        with
+        | `Acked ->
+            incr placed;
+            acked.(p) <- true;
+            t.s_stores <- t.s_stores + 1;
+            metric "store"
+        | `Full ->
+            t.s_remote_fulls <- t.s_remote_fulls + 1;
+            metric "remote_full"
+        | `Timeout -> t.s_replica_timeouts <- t.s_replica_timeouts + 1
+    in
+    in_parallel t (List.init (Array.length reps) (fun p () -> push_one p));
+    if !placed >= min_placed t then begin
       Hashtbl.replace t.pages (st.owner, s) reps;
       st.sx_demotes <- st.sx_demotes + 1
     end
-    else if dirty then begin
-      st.sx_write_fallbacks <- st.sx_write_fallbacks + 1;
-      disk_write_slot st s
+    else begin
+      Array.iteri
+        (fun p i ->
+          if acked.(p) then
+            Remote_node.drop t.nodes.(i).nd_remote ~shard:(shard_of t p)
+              ~owner:st.owner ~slot:s)
+        reps;
+      if dirty then begin
+        st.sx_write_fallbacks <- st.sx_write_fallbacks + 1;
+        disk_write_slot st s
+      end
+      else st.sx_clean_skips <- st.sx_clean_skips + 1
     end
-    else st.sx_clean_skips <- st.sx_clean_skips + 1
   end
 
 let rec shrink st =
@@ -639,37 +919,112 @@ let insert_cache st s =
 (* ------------------------------------------------------------------ *)
 (* Reads                                                               *)
 
-(* Serve one tracked slot from the fleet: primary first, then the
-   surviving replicas in placement order. Exactly one of
+(* Serve one tracked slot from a replicated stripe: primary first,
+   then the surviving copies in placement order. Exactly one of
    failover/disk-fallback answers a lost primary here (rebuilds are
    the repair process's entry). *)
-let fetch_fleet st s =
+let fetch_replicated st s reps =
   let t = st.fl in
-  poll_wipes t;
-  let reps = Hashtbl.find t.pages (st.owner, s) in
-  let try_node i =
+  let try_node p =
+    let i = reps.(p) in
     let nd = t.nodes.(i) in
     if nd.nd_quarantined then `Skip
     else
-      fetch_page t nd st.clients.(i) ~retries:t.link_retries ~owner:st.owner
-        ~slot:s
+      match
+        fetch_shard t nd st.clients.(i) ~retries:t.link_retries ~shard:0
+          ~owner:st.owner ~slot:s
+      with
+      | `Ok ->
+          nd.nd_serves <- nd.nd_serves + 1;
+          `Ok
+      | (`Stale | `Timeout | `Corrupt) as e -> e
   in
-  match try_node reps.(0) with
+  match try_node 0 with
   | `Ok -> `Served
-  | `Skip | `Stale | `Timeout ->
+  | `Skip | `Stale | `Timeout | `Corrupt ->
       t.s_lost_primaries <- t.s_lost_primaries + 1;
       metric "lost_primary";
-      let rec failover k =
-        if k >= Array.length reps then `All_lost
+      let rec failover p =
+        if p >= Array.length reps then `All_lost 1
         else
-          match try_node reps.(k) with
+          match try_node p with
           | `Ok ->
               t.s_failovers <- t.s_failovers + 1;
+              t.nodes.(reps.(p)).nd_failovers <-
+                t.nodes.(reps.(p)).nd_failovers + 1;
               metric "failover";
               `Served
-          | `Skip | `Stale | `Timeout -> failover (k + 1)
+          | `Skip | `Stale | `Timeout | `Corrupt -> failover (p + 1)
       in
       failover 1
+
+(* Serve one tracked slot from an erasure stripe: walk the positions
+   in shard order (data first — the systematic fast path needs no
+   decode) until k shards are in hand. Every position found
+   unavailable on the way (quarantined, stale, timed out, corrupt)
+   is one lost-shard observation; a read that still gathers k is a
+   {e degraded read} — answered from remote memory by
+   reconstruction, never the disk floor — and books each observed
+   loss as a reconstruction. A read that cannot gather k returns the
+   observation count for the disk-fallback side of the ledger. *)
+let fetch_erasure st s reps c =
+  let t = st.fl in
+  let k = Ec.k c in
+  let t0 = Time.to_us (Sim.now t.sim) in
+  let got = ref 0 and losses = ref 0 in
+  let fetch_one p =
+    let i = reps.(p) in
+    let nd = t.nodes.(i) in
+    if nd.nd_quarantined then begin
+      incr losses;
+      metric "lost_shard"
+    end
+    else
+      match
+        fetch_shard t nd st.clients.(i) ~retries:t.link_retries ~shard:p
+          ~owner:st.owner ~slot:s
+      with
+      | `Ok ->
+          incr got;
+          nd.nd_serves <- nd.nd_serves + 1
+      | `Stale | `Timeout | `Corrupt ->
+          incr losses;
+          metric "lost_shard"
+  in
+  (* Gather in parallel rounds: the k lowest live positions first
+     (data shards — the systematic fast path needs no decode), then
+     widen by exactly as many legs as failed. Healthy stripes pay one
+     parallel round; a stripe missing j <= m shards pays one short
+     second round for the parity it now needs. *)
+  let next = ref 0 in
+  while !got < k && !next < t.width do
+    let batch = min (k - !got) (t.width - !next) in
+    let first = !next in
+    next := first + batch;
+    in_parallel t (List.init batch (fun j () -> fetch_one (first + j)))
+  done;
+  t.s_lost_shards <- t.s_lost_shards + !losses;
+  if !got >= k then begin
+    if !losses > 0 then begin
+      (* the GF(256) decode itself is CPU noise next to the wire *)
+      t.s_degraded_reads <- t.s_degraded_reads + 1;
+      t.s_reconstructions <- t.s_reconstructions + !losses;
+      metric "degraded_read";
+      if !Obs.enabled then
+        Obs.Metrics.observe ~label:st.label "fleet.degraded_us"
+          (Time.to_us (Sim.now t.sim) -. t0)
+    end;
+    `Served
+  end
+  else `All_lost !losses
+
+let fetch_fleet st s =
+  let t = st.fl in
+  poll_faults t;
+  let reps = Hashtbl.find t.pages (st.owner, s) in
+  match t.ec with
+  | None -> fetch_replicated st s reps
+  | Some c -> fetch_erasure st s reps c
 
 let read_pages st ~page_index ~npages =
   let lost = ref [] in
@@ -715,15 +1070,17 @@ let read_pages st ~page_index ~npages =
     end
     else if tracked st s then begin
       flush_run ();
+      (* remote faults feed the repair queue's hot-first ordering *)
+      if !Obs.enabled then Obs.Heat.note ~owner:st.owner ~slot:s;
       match fetch_fleet st s with
       | `Served ->
           st.sx_fleet_hits <- st.sx_fleet_hits + 1;
           smetric st "hit";
           st.sx_promotes <- st.sx_promotes + 1;
-          (* inclusive: the replicas keep their copies *)
+          (* inclusive: the nodes keep their entries *)
           insert_cache st s
-      | `All_lost ->
-          st.fl.s_disk_fallbacks <- st.fl.s_disk_fallbacks + 1;
+      | `All_lost n ->
+          st.fl.s_disk_fallbacks <- st.fl.s_disk_fallbacks + n;
           smetric st "disk_fallback";
           if st.disk_valid.(s) then begin
             from_disk s;
@@ -838,6 +1195,13 @@ let stats t =
     rebuilds = t.s_rebuilds;
     disk_fallbacks = t.s_disk_fallbacks;
     secondary_rebuilds = t.s_secondary_rebuilds;
+    lost_shards = t.s_lost_shards;
+    degraded_reads = t.s_degraded_reads;
+    reconstructions = t.s_reconstructions;
+    corrupt_shards = t.s_corrupt_shards;
+    migrations = t.s_migrations;
+    node_joins = t.s_node_joins;
+    node_retires = t.s_node_retires;
     retransmits = t.s_retransmits;
     quarantines = t.s_quarantines;
     readmissions = t.s_readmissions;
@@ -851,12 +1215,16 @@ let health t =
     (Array.map
        (fun nd ->
          { nh_name = nd.nd_name;
+           nh_member = nd.nd_member;
            nh_used = Remote_node.used_pages nd.nd_remote;
            nh_capacity = Remote_node.capacity nd.nd_remote;
            nh_quarantined = nd.nd_quarantined;
            nh_streak = nd.nd_streak;
            nh_quarantines = nd.nd_quarantines;
-           nh_readmissions = nd.nd_readmissions })
+           nh_readmissions = nd.nd_readmissions;
+           nh_stores = nd.nd_stores;
+           nh_serves = nd.nd_serves;
+           nh_failovers = nd.nd_failovers })
        t.nodes)
 
 let store_stats st =
@@ -869,6 +1237,32 @@ let store_stats st =
     st_clean_skips = st.sx_clean_skips;
     st_lost_slots = st.sx_lost_slots }
 
+(* Bytes held across the fleet relative to the pages tracked: an
+   entry is a whole page (replicated) or 1/k of one (erasure), so
+   intact R = 2 measures 2.0x and intact (4, 2) measures 1.5x —
+   the storage dividend the erasure experiment asserts. *)
+let storage_overhead t =
+  let tracked = Hashtbl.length t.pages in
+  if tracked = 0 then 0.0
+  else
+    let entries =
+      Array.fold_left
+        (fun a nd -> a + Remote_node.used_pages nd.nd_remote)
+        0 t.nodes
+    in
+    let frac =
+      match t.ec with
+      | None -> 1.0
+      | Some c -> 1.0 /. float_of_int (Ec.k c)
+    in
+    float_of_int entries *. frac /. float_of_int tracked
+
 let books_balanced t =
   t.s_stores = t.s_acks
-  && t.s_lost_primaries = t.s_failovers + t.s_rebuilds + t.s_disk_fallbacks
+  &&
+  match t.ec with
+  | None ->
+      t.s_lost_primaries = t.s_failovers + t.s_rebuilds + t.s_disk_fallbacks
+  | Some _ ->
+      t.s_lost_shards
+      = t.s_reconstructions + t.s_rebuilds + t.s_disk_fallbacks

@@ -1,14 +1,29 @@
-(** A replicated remote memory tier: N nodes, R copies, no single
-    point of failure.
+(** A redundant remote memory tier: N nodes, replicated or
+    erasure-coded stripes, no single point of failure.
 
     PR 6's {!Store} pages to {e one} {!Remote_node}; one
     [Remote_node.wipe] and every tiered domain eats the ~130× disk
-    penalty. A fleet spreads the same traffic over several nodes:
-    each demoted page is written to [replicas] nodes chosen by a
-    seeded rendezvous hash (deterministic — same seed, same replica
-    sets), reads try the primary and fail over to the surviving
-    replicas, and only when every copy is gone does a fault fall back
-    to the disk durability floor.
+    penalty. A fleet spreads the same traffic over several nodes
+    under a per-fleet {!redundancy} policy:
+
+    - [Replicated r]: each demoted page is written whole to [r]
+      nodes chosen by a seeded rendezvous hash; reads try the primary
+      and fail over to the surviving copies.
+    - [Erasure {k; m}]: each demoted page is split by the {!Ec}
+      Reed–Solomon coder into [k] data + [m] parity shards placed on
+      [k + m] distinct nodes — [1 + m/k] times the page's bytes
+      instead of [r] times. Stripe legs travel {e in parallel} (one
+      transfer process per node, demotes and reads both), so a stripe
+      costs its slowest leg, not the sum of [k + m] serial transfers.
+      Reads gather the first [k] positions of the stripe in one
+      parallel round (the systematic fast path needs no decode) and,
+      per shard lost, widen the round into the parity — a degraded
+      read {e reconstructs} from any [k] shards, served from remote
+      memory, never the disk floor.
+
+    Only when a page is unrecoverable remotely (every copy gone, or
+    more than [m] shards lost) does a fault fall back to the disk
+    durability floor.
 
     {b Health.} Every node is reached over its own {!Usnet.Link};
     packets to a crashed or partitioned node (per
@@ -18,23 +33,43 @@
     quarantine the node: it stops being asked for pages, and a
     background process probes it each [probe_period], re-admitting it
     when a probe is answered (a healed partition) — a crashed node
-    just stays quarantined.
+    just stays quarantined. A served entry that fails its checksum
+    ({!Inject.shard_corrupt}) is treated exactly like a lost one.
 
-    {b Repair.} The same background process re-replicates: each
-    [repair_period] it scans the placement book for copies a live
-    node should hold but does not (wiped, or newly re-admitted after
-    losing its RAM) and rebuilds up to [repair_budget] copies per
-    round from surviving replicas, over the fleet's own repair link
-    clients so repair traffic cannot eat the domains' guarantees.
+    {b Repair.} The same background process restores redundancy: each
+    [repair_period] it walks the placement book {e hottest page
+    first} — ordered by the per-page fault counts {!Obs.Heat}
+    accumulates, so the pages domains are actually faulting on regain
+    full redundancy before cold ones — and rebuilds up to
+    [repair_budget] entries per round over the fleet's own repair
+    link clients. A missing replicated copy is refetched from a
+    survivor; a missing erasure shard is reconstructed from any [k]
+    live shards ([k] fetches + one push, the real price of parity
+    repair) unless its old holder still serves it, in which case one
+    fetch moves it.
 
-    {b Books.} Double-entry, extending the PR 6 convention:
-    - [stores = acks] — every replica copy the placement book records
-      was individually acknowledged by its node;
-    - [lost_primaries = failovers + rebuilds + disk_fallbacks] —
-      every observation of a missing/unreachable primary copy is
-      answered exactly once: a surviving replica served the read, the
-      repair process rebuilt the primary copy, or the read fell back
-      to the disk.
+    {b Membership.} Nodes can join and retire at run time:
+    {!add_node} admits a standby node (declared at {!create} so its
+    link clients exist from the start) into the placement ring, and
+    {!retire_node} removes one — both also drivable from the chaos
+    plan via {!Inject.node_join_due}/{!Inject.node_retire_due}.
+    Rebalancing is rendezvous re-ranking: only pages whose top-[width]
+    set involves the changed node move, and the moves are budgeted
+    through the same repair loop (a {e migration} — the entry lived,
+    it just moved — never enters the loss ledger). A retiring node
+    keeps answering reads while it drains.
+
+    {b Books.} Double-entry, mode-aware:
+    - both modes: [stores = acks] — every entry the placement book
+      records was individually acknowledged by its node;
+    - replicated:
+      [lost_primaries = failovers + rebuilds + disk_fallbacks];
+    - erasure:
+      [lost_shards = reconstructions + rebuilds + disk_fallbacks] —
+      every lost-shard observation is answered exactly once: a
+      degraded read reconstructed over it, the repair process rebuilt
+      it, or the read fell back to the disk (fallback reads book one
+      answer per shard they observed lost).
 
     Charging is unchanged from {!Store}: every fragment a domain
     sends or receives burns that domain's own link-client slice, so a
@@ -42,26 +77,51 @@
 
 open Engine
 
+type redundancy =
+  | Replicated of int  (** [r] whole-page copies on [r] nodes *)
+  | Erasure of { k : int; m : int }
+      (** [k] data + [m] parity shards on [k + m] nodes; any [m]
+          losses survived at [1 + m/k] times the storage *)
+
 type t
 (** The fleet: nodes, placement book, health state, repair process. *)
 
 type store
 (** One domain's view of the fleet — LRU RAM cache on top, the
-    replicated node set below, the domain's swapfile as durability
+    redundant node set below, the domain's swapfile as durability
     floor. Obtained from {!attach}, consumed via {!backing}. *)
 
 type stats = {
-  stores : int;  (** replica copies recorded in the placement book *)
-  acks : int;  (** node acknowledgements backing those copies *)
+  stores : int;  (** entries recorded in the placement book *)
+  acks : int;  (** node acknowledgements backing those entries *)
   replica_skips : int;  (** writes not attempted (node quarantined) *)
   replica_timeouts : int;  (** writes abandoned after the last retry *)
   remote_fulls : int;  (** writes refused by a full node *)
-  lost_primaries : int;  (** reads/repairs that found the primary gone *)
-  failovers : int;  (** ... answered by a surviving replica *)
-  rebuilds : int;  (** ... answered by rebuilding the primary copy *)
-  disk_fallbacks : int;  (** ... answered by the disk floor *)
+  lost_primaries : int;
+      (** replicated: reads/repairs that found the primary gone *)
+  failovers : int;  (** ... answered by a surviving copy *)
+  rebuilds : int;
+      (** ... answered by rebuilding the copy (replicated primaries)
+          or the shard (erasure, any position) *)
+  disk_fallbacks : int;
+      (** ... answered by the disk floor (erasure: one per shard the
+          falling-back read observed lost) *)
   secondary_rebuilds : int;
-      (** non-primary copies rebuilt (outside the primary equation) *)
+      (** replicated non-primary copies rebuilt (outside the primary
+          equation) *)
+  lost_shards : int;
+      (** erasure: shard-loss observations (reads and repair) *)
+  degraded_reads : int;
+      (** erasure reads that needed parity and a decode *)
+  reconstructions : int;
+      (** lost-shard observations answered by a degraded read *)
+  corrupt_shards : int;
+      (** entries served but failing their checksum (both modes) *)
+  migrations : int;
+      (** entries moved by rebalancing (membership changes) — the
+          entry lived, so no loss ledger entry *)
+  node_joins : int;  (** standby nodes admitted into membership *)
+  node_retires : int;  (** members retired out of the ring *)
   retransmits : int;  (** fragments retried on the backoff ladder *)
   quarantines : int;  (** nodes quarantined (streak of timeouts) *)
   readmissions : int;  (** quarantined nodes probed back in *)
@@ -73,28 +133,33 @@ type stats = {
 
 type node_health = {
   nh_name : string;
-  nh_used : int;
+  nh_member : bool;  (** in the placement ring right now *)
+  nh_used : int;  (** entries held (pages, or shards) *)
   nh_capacity : int;
   nh_quarantined : bool;
   nh_streak : int;  (** consecutive timeouts right now *)
   nh_quarantines : int;
   nh_readmissions : int;
+  nh_stores : int;  (** entries this node acked over its lifetime *)
+  nh_serves : int;  (** reads this node answered *)
+  nh_failovers : int;  (** reads it answered as a replicated failover *)
 }
 
 type store_stats = {
   st_cache_hits : int;
-  st_fleet_hits : int;  (** reads served by some replica node *)
+  st_fleet_hits : int;  (** reads served by the fleet (incl. degraded) *)
   st_fleet_misses : int;  (** reads of never-placed slots (disk) *)
   st_promotes : int;
-  st_demotes : int;  (** evictions placed on at least one node *)
+  st_demotes : int;  (** evictions placed on enough nodes to recover *)
   st_write_fallbacks : int;
-      (** dirty evictions no node accepted, written to disk instead *)
-  st_clean_skips : int;  (** clean evictions no node accepted *)
+      (** dirty evictions the fleet could not hold, written to disk *)
+  st_clean_skips : int;  (** clean evictions the fleet could not hold *)
   st_lost_slots : int;  (** slots dead with no surviving copy anywhere *)
 }
 
 val create :
-  ?replicas:int ->
+  ?redundancy:redundancy ->
+  ?standby:(string * Remote_node.t * Usnet.Link.t) list ->
   ?quarantine_after:int ->
   ?probe_period:Time.span ->
   ?repair_period:Time.span ->
@@ -110,9 +175,13 @@ val create :
 (** [create ~seed ~nodes sim] builds a fleet over [nodes] — each a
     [(name, node, link)] triple where [name] must be the link's
     {!Usnet.Link.name} (it keys the {!Inject} node-fault sites).
-    Defaults: [replicas = 2] copies per page, [quarantine_after = 3]
+    [standby] nodes are fully wired (repair client, per-store
+    clients) but start outside the placement ring, waiting for
+    {!add_node} or a planned {!Inject.node_join_due}.
+
+    Defaults: [redundancy = Replicated 2], [quarantine_after = 3]
     consecutive timeouts, [probe_period = 50ms], [repair_period =
-    25ms], [repair_budget = 8] copies rebuilt per round,
+    25ms], [repair_budget = 8] entries rebuilt per round,
     [link_retries = 3], [retx_timeout = 1ms] (the {!Store.backoff}
     base), [repair_qos = (20ms, 2ms)] — the (p, s) guarantee admitted
     on every node link for the fleet's own probe/repair traffic —
@@ -120,9 +189,12 @@ val create :
     that want to drive rounds by hand pass [false] and call
     {!repair_round}).
 
-    Raises [Invalid_argument] on an empty node list, [replicas < 1]
-    or a refused repair-client admission. [replicas] is clamped to
-    the fleet size. *)
+    Raises [Invalid_argument] on an empty node list, a replica count
+    [< 1], an invalid [(k, m)] (see {!Ec.make}), [k + m] exceeding
+    the member count, or a refused repair-client admission. A
+    replica count is clamped to the member count; the stripe width
+    is then fixed for the fleet's lifetime (membership changes swap
+    nodes in and out, never resize stripes). *)
 
 val admit_clients :
   t ->
@@ -134,7 +206,8 @@ val admit_clients :
   ?laxity:Time.span ->
   unit ->
   (Usnet.Link.client array, Usnet.Link.admit_error) result
-(** Admit one client per node link under the same (p, s, x, l)
+(** Admit one client per node link (members and standby — a later
+    join needs no new admission) under the same (p, s, x, l)
     guarantee, in node order — what {!attach} consumes. On a refusal
     the already-admitted clients are retired and the error returned. *)
 
@@ -157,20 +230,55 @@ val backing : store -> Backing.t
     [Workload.Paging_app.start ?backing] take. *)
 
 val placement : t -> owner:string -> slot:int -> int array
-(** The replica node indices the rendezvous hash assigns this page,
-    primary first — deterministic in [(seed, names, owner, slot)]
-    alone, so tests can assert same seed → same replica sets. *)
+(** The node indices the rendezvous hash assigns this page's stripe,
+    primary / shard 0 first — deterministic in [(seed, member names,
+    owner, slot)] alone, so tests can assert same seed → same
+    placement, and a membership change re-ranks with minimal
+    movement. *)
 
 val node_names : t -> string array
+(** All nodes, members and standby, in node order. *)
+
+val member_names : t -> string array
+(** The nodes currently in the placement ring. *)
+
+val redundancy : t -> redundancy
+
+val stripe_width : t -> int
+(** Entries placed per page: the (possibly clamped) replica count,
+    or [k + m]. *)
+
+val add_node : t -> name:string -> unit
+(** Admit a standby node into the placement ring; the repair loop
+    migrates entries onto it (rendezvous re-ranking, budgeted).
+    Raises [Invalid_argument] on an unknown name or a current
+    member. *)
+
+val retire_node : t -> name:string -> unit
+(** Remove a member from the placement ring; it keeps answering
+    reads while the repair loop drains its entries to the re-ranked
+    placement. Raises [Invalid_argument] on an unknown name, a
+    non-member, or if the remaining members would not fit a stripe. *)
 
 val repair_round : t -> unit
-(** One synchronous probe/repair round — what the background process
-    runs each [repair_period]. Exposed for tests ([repair = false]). *)
+(** One synchronous fault-poll/probe/repair round — what the
+    background process runs each [repair_period]. Exposed for tests
+    ([repair = false]). *)
 
 val stats : t -> stats
 val health : t -> node_health list
 val store_stats : store -> store_stats
 
+val storage_overhead : t -> float
+(** Bytes held across the fleet's nodes relative to the pages
+    tracked in the placement book: a replicated entry is one page, a
+    shard [1/k] of one. Intact [Replicated 2] measures 2.0; intact
+    [Erasure {k = 4; m = 2}] measures 1.5. [0.0] when nothing is
+    tracked. *)
+
 val books_balanced : t -> bool
-(** [stores = acks] and
-    [lost_primaries = failovers + rebuilds + disk_fallbacks]. *)
+(** [stores = acks], and the mode's loss ledger:
+    [lost_primaries = failovers + rebuilds + disk_fallbacks]
+    (replicated) or
+    [lost_shards = reconstructions + rebuilds + disk_fallbacks]
+    (erasure). *)

@@ -3,7 +3,7 @@ open Engine
 type t = {
   capacity_pages : int;
   service : Time.span;
-  table : (string * int, unit) Hashtbl.t;
+  table : (string * int * int, unit) Hashtbl.t;
 }
 
 let create ?(service = Time.us 25) ~capacity_pages () =
@@ -16,15 +16,19 @@ let used_pages t = Hashtbl.length t.table
 let capacity t = t.capacity_pages
 let has_room t = used_pages t < t.capacity_pages
 let service_time t = t.service
-let holds t ~owner ~slot = Hashtbl.mem t.table (owner, slot)
 
-let store t ~owner ~slot =
-  if holds t ~owner ~slot then Ok ()
+let holds ?(shard = 0) t ~owner ~slot =
+  Hashtbl.mem t.table (owner, slot, shard)
+
+let store ?(shard = 0) t ~owner ~slot =
+  if holds ~shard t ~owner ~slot then Ok ()
   else if has_room t then begin
-    Hashtbl.replace t.table (owner, slot) ();
+    Hashtbl.replace t.table (owner, slot, shard) ();
     Ok ()
   end
   else Error `Remote_full
 
-let drop t ~owner ~slot = Hashtbl.remove t.table (owner, slot)
+let drop ?(shard = 0) t ~owner ~slot =
+  Hashtbl.remove t.table (owner, slot, shard)
+
 let wipe t = Hashtbl.reset t.table

@@ -1,11 +1,19 @@
 (** A deterministic model of a remote memory node.
 
     The far end of the disaggregated-memory tier: a bounded pool of
-    page slots keyed by [(owner, slot)], with a fixed per-page service
-    latency. The node itself is passive bookkeeping — {!Store} does
-    the link transfers and sleeps the service time under the calling
-    domain's own guarantees, so the node adds no hidden scheduling and
-    two same-seed runs behave identically.
+    page-or-shard slots keyed by [(owner, slot, shard)], with a fixed
+    per-entry service latency. The node itself is passive bookkeeping
+    — {!Store} and {!Fleet} do the link transfers and sleep the
+    service time under the calling domain's own guarantees, so the
+    node adds no hidden scheduling and two same-seed runs behave
+    identically.
+
+    [shard] defaults to [0]: {!Store} and {!Fleet}'s replicated mode
+    key whole-page copies as shard 0, while {!Fleet}'s erasure mode
+    keys each of a page's [k + m] Reed–Solomon shards separately
+    (each shard occupies one slot but holds only [1/k] of the page's
+    bytes — capacity here counts {e entries}, the byte overhead is
+    the caller's to account).
 
     Capacity is a hard bound: {!store} on a full node returns
     [`Remote_full] and the caller degrades to the disk tier — a full
@@ -16,16 +24,17 @@ open Engine
 type t
 
 val create : ?service:Time.span -> capacity_pages:int -> unit -> t
-(** [service] (default 25 us) is the node-side latency per page
+(** [service] (default 25 us) is the node-side latency per entry
     looked up or stored — DRAM plus the remote NIC, far below a disk
     transaction. *)
 
-val store : t -> owner:string -> slot:int -> (unit, [ `Remote_full ]) result
-(** Idempotent: storing a page the node already holds succeeds
+val store :
+  ?shard:int -> t -> owner:string -> slot:int -> (unit, [ `Remote_full ]) result
+(** Idempotent: storing an entry the node already holds succeeds
     without consuming a second slot. *)
 
-val holds : t -> owner:string -> slot:int -> bool
-val drop : t -> owner:string -> slot:int -> unit
+val holds : ?shard:int -> t -> owner:string -> slot:int -> bool
+val drop : ?shard:int -> t -> owner:string -> slot:int -> unit
 
 val has_room : t -> bool
 val used_pages : t -> int

@@ -5,6 +5,8 @@ type t = { rate_bps : float; per_packet : Time.span; mtu : int }
 let fast_ethernet =
   { rate_bps = 100e6; per_packet = Time.us 8; mtu = 1514 }
 
+let gigabit = { rate_bps = 1e9; per_packet = Time.us 2; mtu = 9014 }
+
 let tx_time t ~bytes =
   if bytes <= 0 || bytes > t.mtu then
     invalid_arg (Printf.sprintf "Net_params.tx_time: bad size %d" bytes);

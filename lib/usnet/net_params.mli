@@ -14,6 +14,12 @@ type t = {
 
 val fast_ethernet : t
 
+val gigabit : t
+(** A gigabit fabric with jumbo frames (9014-byte MTU) — the
+    disaggregated-memory premise that the network is an order of
+    magnitude closer to DRAM than the disk. A whole 8 KB page or any
+    of its shards fits one frame. *)
+
 val tx_time : t -> bytes:int -> Time.span
 (** Wire time of one packet: fixed overhead + serialisation. Raises
     [Invalid_argument] for sizes outside (0, mtu]. *)

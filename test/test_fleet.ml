@@ -36,7 +36,10 @@ let mk_fleet ?(seed = 7) ?(replicas = 2) ?(nodes = 4) ?(node_pages = 16)
         let link = Usnet.Link.create ~name sim in
         (name, Tier.Remote_node.create ~capacity_pages:node_pages (), link))
   in
-  let fleet = Tier.Fleet.create ~seed ~replicas ~repair ~nodes:triples sim in
+  let fleet =
+    Tier.Fleet.create ~seed ~redundancy:(Tier.Fleet.Replicated replicas)
+      ~repair ~nodes:triples sim
+  in
   let clients =
     match
       Tier.Fleet.admit_clients fleet ~name:"t.fleet" ~period:(Time.ms 20)
@@ -206,16 +209,14 @@ let fleet_books_model =
         { Inject.default_plan with
           seed;
           node_faults =
-            [ { Inject.nf_node = Printf.sprintf "fn%d" wiped;
-                nf_wipe_at = Some (ms (float_of_int (seed mod 400)));
-                nf_crash_at = None;
-                nf_partitions = [] };
-              { Inject.nf_node = Printf.sprintf "fn%d" parted;
-                nf_wipe_at = None;
-                nf_crash_at = None;
-                nf_partitions =
+            [ Inject.node_fault
+                ~wipe_at:(ms (float_of_int (seed mod 400)))
+                (Printf.sprintf "fn%d" wiped);
+              Inject.node_fault
+                ~partitions:
                   [ ( ms (float_of_int (seed mod 200)),
-                      ms (float_of_int ((seed mod 200) + 150)) ) ] } ] };
+                      ms (float_of_int ((seed mod 200) + 150)) ) ]
+                (Printf.sprintf "fn%d" parted) ] };
       Fun.protect ~finally:Inject.disarm (fun () ->
           let bad = ref 0 in
           let written = Hashtbl.create 16 in
