@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-failover bench-erasure bench-share bench-scale smoke chaos crash remote failover erasure scale share fmt check clean
+.PHONY: all build test bench bench-policy bench-chaos bench-crash bench-remote bench-failover bench-erasure bench-share bench-scale smoke chaos crash remote failover erasure scale share fmt lint-registry check clean
 
 all: build
 
@@ -124,7 +124,14 @@ scale:
 share:
 	dune exec bin/nemesis_sim.exe -- tenancy -d 20 --tenants 12
 
-check: fmt build test smoke chaos crash remote failover erasure scale share
+# Registry hygiene: every registered extension name (on every axis)
+# must be documented in README.md/DESIGN.md, and every lib/experiments
+# module must be claimed by a registered experiment (non-zero exit on
+# either breach). Must run from the repo root.
+lint-registry:
+	dune exec bin/nemesis_sim.exe -- lint-registry
+
+check: fmt build test lint-registry smoke chaos crash remote failover erasure scale share
 	@echo "check OK"
 
 clean:

@@ -1,27 +1,15 @@
 (* nemesis-sim: regenerate the paper's tables and figures.
 
-   Subcommands mirror the experiment index in DESIGN.md:
-     table1   micro-benchmarks
-     fig7     paging in
-     fig8     paging out
-     fig9     file-system isolation
-     crosstalk external pager vs self-paging (Figure 2, quantified)
-     policy-compare  paging figure per paging policy (§5)
-     ablate   design-choice ablations
-     all      everything *)
+   Subcommands are not listed here: every experiment lives on the
+   "experiment" axis of the extension registry (lib/experiments/catalog),
+   and this binary builds one cmdliner command per registered manifest —
+   flags, defaults and doc strings all come from the manifest's param
+   descriptors. Registering a new experiment in the catalog is enough to
+   grow the CLI; see `nemesis-sim list-extensions` for the full
+   inventory and DESIGN.md §16 for the registry itself. *)
 
 open Cmdliner
 open Experiments
-
-let duration_arg default =
-  let doc = "Simulated duration in seconds." in
-  Arg.(value & opt int default & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
-
-let sec s = Engine.Time.sec s
-
-let csv_arg =
-  let doc = "Also write the bandwidth series as CSV to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
 (* Observability: either flag switches instrumentation on for the whole
    run; experiments that execute several configurations reset the
@@ -41,19 +29,6 @@ let trace_arg =
 
 let obs_args = Term.(const (fun m t -> (m, t)) $ metrics_arg $ trace_arg)
 
-let write_file path contents =
-  match open_out path with
-  | exception Sys_error msg ->
-    Printf.eprintf "nemesis-sim: cannot write %s\n" msg;
-    exit 1
-  | oc ->
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc contents;
-        output_char oc '\n');
-    Printf.printf "wrote %s\n" path
-
 let with_obs (metrics, trace) f =
   let instrument = metrics <> None || trace <> None in
   if instrument then begin
@@ -62,417 +37,102 @@ let with_obs (metrics, trace) f =
   end;
   f ();
   if instrument then begin
-    Option.iter (fun path -> write_file path (Obs.Metrics.to_json ())) metrics;
-    Option.iter (fun path -> write_file path (Obs.Span.to_csv ())) trace
+    Option.iter
+      (fun path -> Catalog.write_file path (Obs.Metrics.to_json ()))
+      metrics;
+    Option.iter (fun path -> Catalog.write_file path (Obs.Span.to_csv ())) trace
   end
 
-let write_csv path rows =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "series,seconds,mbit_per_s\n";
-      List.iter
-        (fun (series, t, v) ->
-          Printf.fprintf oc "%s,%.3f,%.6f\n" series t v)
-        rows);
-  Printf.printf "wrote %s\n" path
-
-let paging_csv (r : Paging_fig.result) =
-  List.concat_map
-    (fun (a : Paging_fig.app_report) ->
-      List.map
-        (fun (t, v) -> (a.Paging_fig.app_name, Engine.Time.to_sec t, v))
-        a.Paging_fig.series)
-    r.Paging_fig.apps
-
-let table1_cmd =
-  let run obs = with_obs obs (fun () -> Table1.print (Table1.run ())) in
-  Cmd.v (Cmd.info "table1" ~doc:"Comparative micro-benchmarks (Table 1)")
-    Term.(const run $ obs_args)
-
-let fig7_cmd =
-  let run obs d csv =
-    with_obs obs (fun () ->
-        let r = Paging_fig.run ~duration:(sec d) () in
-        Paging_fig.print r;
-        Paging_fig.print_series r;
-        Paging_fig.print_trace r;
-        Option.iter (fun path -> write_csv path (paging_csv r)) csv)
-  in
-  Cmd.v (Cmd.info "fig7" ~doc:"Paging in under disk guarantees (Figure 7)")
-    Term.(const run $ obs_args $ duration_arg 240 $ csv_arg)
-
-let fig8_cmd =
-  let run obs d csv =
-    with_obs obs (fun () ->
-        let r =
-          Paging_fig.run ~mode:Workload.Paging_app.Paging_out
-            ~duration:(sec d) ()
-        in
-        Paging_fig.print r;
-        Paging_fig.print_series r;
-        Paging_fig.print_trace r;
-        Option.iter (fun path -> write_csv path (paging_csv r)) csv)
-  in
-  Cmd.v (Cmd.info "fig8" ~doc:"Paging out under disk guarantees (Figure 8)")
-    Term.(const run $ obs_args $ duration_arg 240 $ csv_arg)
-
-let fig9_cmd =
-  let run obs d csv =
-    with_obs obs (fun () ->
-        let r = Fig9.run ~duration:(sec d) () in
-        Fig9.print r;
-        Fig9.print_series r;
-        Option.iter
-          (fun path ->
-            let rows =
-              List.map
-                (fun (t, v) -> ("fs_alone", Engine.Time.to_sec t, v))
-                r.Fig9.alone_series
-              @ List.map
-                  (fun (t, v) -> ("fs_contended", Engine.Time.to_sec t, v))
-                  r.Fig9.contended_series
-            in
-            write_csv path rows)
-          csv)
-  in
-  Cmd.v (Cmd.info "fig9" ~doc:"File-system isolation (Figure 9)")
-    Term.(const run $ obs_args $ duration_arg 120 $ csv_arg)
-
-let crosstalk_cmd =
-  let run obs d =
-    with_obs obs (fun () -> Crosstalk.print (Crosstalk.run ~duration:(sec d) ()))
-  in
-  Cmd.v
-    (Cmd.info "crosstalk"
-       ~doc:"External pager vs self-paging (Figure 2, quantified)")
-    Term.(const run $ obs_args $ duration_arg 180)
-
-let ablation_names = [ "laxity"; "rollover"; "pt"; "slack"; "stream"; "revoke" ]
-
-let run_ablation d = function
-  | "laxity" ->
-    Ablations.print_laxity (Ablations.run_laxity ~duration:(sec d) ());
-    Ablations.print_laxity_sweep
-      (Ablations.run_laxity_sweep ~duration:(sec (min d 120)) ())
-  | "rollover" ->
-    Ablations.print_rollover (Ablations.run_rollover ~duration:(sec d) ())
-  | "pt" -> Ablations.print_pt (Ablations.run_pt ())
-  | "slack" -> Ablations.print_slack (Ablations.run_slack ~duration:(sec d) ())
-  | "stream" ->
-    Ablations.print_stream (Ablations.run_stream ~duration:(sec (max d 170)) ())
-  | "revoke" -> Ablations.print_revoke (Ablations.run_revoke ())
-  | other -> Printf.eprintf "unknown ablation %S\n" other
-
-let ablate_cmd =
-  let which =
-    let doc =
-      "Which ablations to run (laxity|rollover|pt|slack|revoke); default all."
+(* One cmdliner term per manifest parameter. The "duration" name is
+   special-cased to the historical -d/--duration spelling; everything
+   else gets a long flag named after the parameter. *)
+let value_term (p : Registry.param) : Catalog.value Term.t =
+  let pname = p.Registry.p_name in
+  let doc = p.Registry.p_doc in
+  match p.Registry.p_kind with
+  | Registry.Flag ->
+    Term.(const (fun b -> Catalog.Bool b) $ Arg.(value & flag & info [ pname ] ~doc))
+  | Registry.Int default ->
+    let flags, docv =
+      if pname = "duration" then ([ "d"; "duration" ], "SECONDS")
+      else ([ pname ], "N")
     in
-    Arg.(value & pos_all string ablation_names & info [] ~docv:"NAME" ~doc)
-  in
-  let run obs d names =
-    with_obs obs (fun () -> List.iter (run_ablation d) names)
-  in
-  Cmd.v (Cmd.info "ablate" ~doc:"Design-choice ablations (DESIGN.md)")
-    Term.(const run $ obs_args $ duration_arg 120 $ which)
-
-let policy_compare_cmd =
-  let json =
-    let doc = "Also write the comparison matrix as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let policies =
-    let doc =
-      "Comma-separated policy specs to compare (e.g. \
-       fifo,fifo+ra8,clock,lru,wsclock:32,fifo+wb8); default: the \
-       built-in presets."
-    in
-    Arg.(
-      value
-      & opt (some (list string)) None
-      & info [ "policies" ] ~docv:"SPECS" ~doc)
-  in
-  let run obs d json policies =
-    let policies =
-      Option.map
-        (List.map (fun s ->
-             match Policy.Spec.of_string s with
-             | Ok p -> p
-             | Error e ->
-               Printf.eprintf "nemesis-sim: %s\n" e;
-               exit 2))
-        policies
-    in
-    with_obs obs (fun () ->
-        let r = Policy_compare.run ~duration:(sec d) ?policies () in
-        Policy_compare.print r;
-        Option.iter
-          (fun path -> write_file path (Policy_compare.to_json r))
-          json)
-  in
-  Cmd.v
-    (Cmd.info "policy-compare"
-       ~doc:
-         "Paging figure per replacement/read-ahead/write-behind policy \
-          (paper section 5: per-domain policy choice)")
-    Term.(const run $ obs_args $ duration_arg 60 $ json $ policies)
-
-let netiso_cmd =
-  let run obs d =
-    with_obs obs (fun () ->
-        Net_iso.print_shares (Net_iso.run_shares ~duration:(sec (min d 30)) ());
-        Net_iso.print_kernel_crosstalk
-          (Net_iso.run_kernel_crosstalk ~duration:(sec d) ()))
-  in
-  Cmd.v
-    (Cmd.info "netiso"
-       ~doc:"Network-link guarantees and cross-resource crosstalk")
-    Term.(const run $ obs_args $ duration_arg 60)
-
-let chaos_cmd =
-  let seed =
-    let doc = "Simulation and fault-injection seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let json =
-    let doc = "Also write the chaos verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let run obs d seed json =
-    with_obs obs (fun () ->
-        let r = Chaos.run ~seed ~duration:(sec d) () in
-        Chaos.print r;
-        Option.iter (fun path -> write_file path (Chaos.to_json r)) json;
-        if not (Chaos.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "chaos"
-       ~doc:
-         "QoS firewalling under injected faults: bad bloks, media errors, \
-          stalls, dropped notifications and revocation storms against one \
-          victim, with two clean domains as the control group")
-    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
-
-let remote_cmd =
-  let seed =
-    let doc = "Simulation and fault-injection seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let json =
-    let doc = "Also write the remote-paging verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let run obs d seed json =
-    with_obs obs (fun () ->
-        let r = Remote_page.run ~seed ~duration:(sec d) () in
-        Remote_page.print r;
-        Option.iter (fun path -> write_file path (Remote_page.to_json r)) json;
-        if not (Remote_page.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "remote"
-       ~doc:
-         "Disaggregated memory: three tiered domains page through a \
-          RAM-cache/remote-memory/disk backing store over a shared \
-          guaranteed link while three disk-only bystanders run beside \
-          them; the second half drops and delays packets on that link \
-          and the verdict demands zero bystander violations, balanced \
-          tier loss books and a byte-identical same-seed rerun")
-    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
-
-let failover_cmd =
-  let seed =
-    let doc = "Simulation and fault-injection seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let json =
-    let doc = "Also write the failover verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let run obs d seed json =
-    with_obs obs (fun () ->
-        let r = Failover.run ~seed ~duration:(sec d) () in
-        Failover.print r;
-        Option.iter (fun path -> write_file path (Failover.to_json r)) json;
-        if not (Failover.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "failover"
-       ~doc:
-         "Replicated remote memory under node loss: three tiered domains \
-          page through a 4-node fleet (2 replicas per page, rendezvous \
-          placement) while three disk-only bystanders run beside them; \
-          mid-run one node is wiped and another partitioned, and the \
-          verdict demands zero committed pages lost, zero bystander \
-          violations, balanced fleet books, a re-replicated wipe victim, \
-          a probed-back partition victim and a byte-identical same-seed \
-          rerun")
-    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
-
-let erasure_cmd =
-  let seed =
-    let doc = "Simulation and fault-injection seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let json =
-    let doc = "Also write the erasure verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let run obs d seed json =
-    with_obs obs (fun () ->
-        let r = Erasure.run ~seed ~duration:(sec d) () in
-        Erasure.print r;
-        Option.iter (fun path -> write_file path (Erasure.to_json r)) json;
-        if not (Erasure.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "erasure"
-       ~doc:
-         "Erasure-coded remote memory under double node loss: tiered \
-          domains page through a six-node fleet striped k = 4 data + \
-          m = 2 parity shards per page, run side by side with the \
-          2-replica baseline; two nodes are wiped mid-run, one node \
-          serves corrupt shards and a standby joins the ring. The \
-          verdict demands zero committed pages lost, degraded reads \
-          served from remote memory at least 50x faster than the disk \
-          floor, at most 1.55x storage overhead, balanced shard books, \
-          honoured membership change, clean bystanders and a \
-          byte-identical same-seed rerun")
-    Term.(const run $ obs_args $ duration_arg 30 $ seed $ json)
-
-let scale_cmd =
-  let seed =
-    let doc = "Simulation seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let domains =
-    let doc = "Number of self-paging domains to admit." in
-    Arg.(value & opt int 128 & info [ "domains" ] ~docv:"N" ~doc)
-  in
-  let json =
-    let doc = "Also write the scale verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let run obs d seed domains json =
-    with_obs obs (fun () ->
-        let r = Scale.run ~seed ~domains ~duration:(sec d) () in
-        Scale.print r;
-        Option.iter (fun path -> write_file path (Scale.to_json r)) json;
-        if not (Scale.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "scale"
-       ~doc:
-         "Many-domain scale-out: admit 128 self-paging domains under \
-          tight CPU, disk and memory admission control, refuse the \
-          129th with a typed overcommit error, and assert zero QoS \
-          violations and balanced frame books")
-    Term.(const run $ obs_args $ duration_arg 60 $ seed $ domains $ json)
-
-let crash_recover_cmd =
-  let seed =
-    let doc = "Simulation and fault-injection seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let rounds =
-    let doc = "Crash/remount/restart rounds to run." in
-    Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N" ~doc)
-  in
-  let json =
-    let doc = "Also write the recovery verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let run obs seed rounds json =
-    with_obs obs (fun () ->
-        let r = Crash_recover.run ~seed ~rounds () in
-        Crash_recover.print r;
-        Option.iter (fun path -> write_file path (Crash_recover.to_json r)) json;
-        if not (Crash_recover.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "crash-recover"
-       ~doc:
-         "Crash consistency and restart: tear the victim's writes at \
-          seeded points (data extent and intent journal), remount and \
-          replay the journal, respawn the domain and restore its \
-          committed pages — with two clean domains as the control group")
-    Term.(const run $ obs_args $ seed $ rounds $ json)
-
-let tenancy_cmd =
-  let seed =
-    let doc = "Simulation seed." in
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-  in
-  let tenants =
-    let doc = "Number of CoW tenants to fork from the template." in
-    Arg.(value & opt int 32 & info [ "tenants" ] ~docv:"N" ~doc)
-  in
-  let json =
-    let doc = "Also write the tenancy verdict as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
-  in
-  let no_share =
-    let doc = "Control arm: fork the fleet without CoW sharing." in
-    Arg.(value & flag & info [ "no-share" ] ~doc)
-  in
-  let no_zram =
-    let doc = "Page tenants straight to disk (no compressed-RAM tier)." in
-    Arg.(value & flag & info [ "no-zram" ] ~doc)
-  in
-  let run obs d seed tenants no_share no_zram json =
-    with_obs obs (fun () ->
-        let r =
-          Tenancy.run ~seed ~tenants ~duration:(sec d) ~share:(not no_share)
-            ~zram:(not no_zram) ()
-        in
-        Tenancy.print r;
-        Option.iter (fun path -> write_file path (Tenancy.to_json r)) json;
-        if not (Tenancy.ok r) then exit 1)
-  in
-  Cmd.v
-    (Cmd.info "tenancy"
-       ~doc:
-         "Multi-tenancy over stacked pagers: freeze a template image, \
-          fork 32 copy-on-write tenants over it (swap traffic through \
-          the compressed-RAM tier), share a read-only text segment, \
-          kill half the fleet mid-run, and assert one resident copy \
-          per shared page, balanced reference books and untouched \
-          bystander QoS")
     Term.(
-      const run $ obs_args $ duration_arg 40 $ seed $ tenants $ no_share
-      $ no_zram $ json)
+      const (fun i -> Catalog.I i)
+      $ Arg.(value & opt int default & info flags ~docv ~doc))
+  | Registry.Float default ->
+    Term.(
+      const (fun f -> Catalog.F f)
+      $ Arg.(value & opt float default & info [ pname ] ~docv:"X" ~doc))
+  | Registry.String default ->
+    Term.(
+      const (fun s -> Catalog.S s)
+      $ Arg.(value & opt (some string) default & info [ pname ] ~docv:"VAL" ~doc))
+  | Registry.Names defaults ->
+    Term.(
+      const (fun l -> Catalog.L l)
+      $ Arg.(value & pos_all string defaults & info [] ~docv:"NAME" ~doc))
 
-let all_cmd =
-  let run obs d =
-    with_obs obs (fun () ->
-        Table1.print (Table1.run ());
-        let r7 = Paging_fig.run ~duration:(sec d) () in
-        Paging_fig.print r7;
-        Paging_fig.print_series r7;
-        Paging_fig.print_trace r7;
-        let r8 =
-          Paging_fig.run ~mode:Workload.Paging_app.Paging_out
-            ~duration:(sec d) ()
-        in
-        Paging_fig.print r8;
-        Paging_fig.print_series r8;
-        Paging_fig.print_trace r8;
-        Fig9.print (Fig9.run ~duration:(sec (min d 120)) ());
-        Crosstalk.print (Crosstalk.run ~duration:(sec (min d 180)) ());
-        Net_iso.print_shares (Net_iso.run_shares ());
-        Net_iso.print_kernel_crosstalk
-          (Net_iso.run_kernel_crosstalk ~duration:(sec (min d 60)) ());
-        List.iter (run_ablation (min d 120)) ablation_names;
-        Chaos.print (Chaos.run ~duration:(sec (min d 30)) ());
-        Crash_recover.print (Crash_recover.run ());
-        Remote_page.print (Remote_page.run ~duration:(sec (min d 30)) ());
-        Failover.print (Failover.run ~duration:(sec (min d 30)) ());
-        Tenancy.print (Tenancy.run ~duration:(sec (min d 40)) ()))
+let ctx_term (m : Registry.manifest) : Catalog.ctx Term.t =
+  List.fold_left
+    (fun acc (p : Registry.param) ->
+      Term.(
+        const (fun ctx v -> (p.Registry.p_name, v) :: ctx) $ acc $ value_term p))
+    (Term.const []) m.Registry.m_params
+
+let cmd_of_manifest (m : Registry.manifest) =
+  let name = m.Registry.m_name in
+  let run obs ctx =
+    match Catalog.resolve name with
+    | Error e ->
+      Printf.eprintf "nemesis-sim: %s\n" (Registry.error_message e);
+      exit 2
+    | Ok entry ->
+      with_obs obs (fun () ->
+          if not (entry.Catalog.e_run ctx) then exit 1)
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every table, figure and ablation")
-    Term.(const run $ obs_args $ duration_arg 240)
+  Cmd.v (Cmd.info name ~doc:m.Registry.m_doc) Term.(const run $ obs_args $ ctx_term m)
+
+let list_extensions_cmd =
+  let run () = print_string (Registry.to_json ()) in
+  Cmd.v
+    (Cmd.info "list-extensions"
+       ~doc:
+         "Dump every extension axis (replacement policies, policy \
+          modifiers, workloads, backing drivers, chaos sites, ablations, \
+          experiments) with manifests as JSON")
+    Term.(const run $ const ())
+
+let lint_registry_cmd =
+  let run () =
+    match
+      Catalog.lint
+        ~docs:[ "README.md"; "DESIGN.md" ]
+        ~experiments_dir:"lib/experiments"
+    with
+    | [] ->
+      let axes = Registry.axes () in
+      let names =
+        List.fold_left
+          (fun n (a, _) ->
+            match Registry.axis_manifests a with
+            | Some ms -> n + List.length ms
+            | None -> n)
+          0 axes
+      in
+      Printf.printf "lint-registry: OK (%d names across %d axes)\n" names
+        (List.length axes)
+    | errors ->
+      List.iter (fun e -> Printf.eprintf "%s\n" e) errors;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint-registry"
+       ~doc:
+         "Check (from the repo root) that every registered extension name \
+          is documented and every lib/experiments module is claimed by a \
+          registered experiment")
+    Term.(const run $ const ())
 
 let main =
   let info =
@@ -482,8 +142,7 @@ let main =
          (OSDI 1999)"
   in
   Cmd.group info
-    [ table1_cmd; fig7_cmd; fig8_cmd; fig9_cmd; crosstalk_cmd; netiso_cmd;
-      policy_compare_cmd; ablate_cmd; chaos_cmd; crash_recover_cmd;
-      remote_cmd; failover_cmd; erasure_cmd; scale_cmd; tenancy_cmd; all_cmd ]
+    (List.map cmd_of_manifest (Registry.manifests Catalog.axis)
+    @ [ list_extensions_cmd; lint_registry_cmd ])
 
 let () = exit (Cmd.eval main)

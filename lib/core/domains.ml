@@ -34,6 +34,10 @@ let cost t = t.cost
 let sim t = t.sim
 let alive t = t.alive
 
+(* Domain-lifecycle failwiths (here and below): charging CPU to a
+   removed contract, scheduling a dead domain, or IDC from inside an
+   activation handler are all choreography bugs in the caller, not
+   conditions a domain can recover from mid-simulation. *)
 let consume_cpu t span =
   if span > 0 then
     match Cpu.consume t.cpu t.cpu_client span with

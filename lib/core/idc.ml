@@ -30,6 +30,10 @@ let offer sdom ~name ?workers handler =
   in
   { iname = name; sdom; entry }
 
+(* IDC failures take the caller down: a synchronous call into a dead
+   or erroring server has no partial result to hand back, and in the
+   simulation such a call is a bug in the experiment's domain
+   choreography, not a recoverable condition. *)
 let call cdom t arg =
   Domains.assert_idc_allowed cdom ("IDC call to " ^ t.iname);
   if not (Domains.alive t.sdom) then

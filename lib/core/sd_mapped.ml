@@ -49,6 +49,9 @@ type state = {
 
 let stack st = Frames.frame_stack st.env.Stretch_driver.frames_client
 
+(* Bind-time failwiths (as in Sd_paged): faulting before bind, binding
+   twice, or binding over an undersized file are wiring bugs in the
+   domain that created the driver. *)
 let the_stretch st =
   match st.stretch with
   | Some s -> s

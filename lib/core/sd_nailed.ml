@@ -10,6 +10,9 @@ let bind st (s : Stretch.t) =
   let ramtab = Translation.ramtab env.translation in
   for i = 0 to Stretch.npages s - 1 do
     match Frames.alloc env.frames env.frames_client with
+    (* Nailed stretches are admission-checked against the guarantee
+       before bind; running dry here means the caller over-committed
+       its own frame stack — an experiment-setup bug. *)
     | None ->
       failwith
         (Printf.sprintf "%s: nailed bind: out of frames at page %d"

@@ -119,6 +119,10 @@ let metric_add st name n =
   if n > 0 && !Obs.enabled then
     Obs.Metrics.add ~label:st.env.Stretch_driver.domain_name name n
 
+(* Bind-time failwiths: faulting before bind, binding twice, or
+   binding a stretch larger than the swap are wiring bugs in the
+   domain that created the driver. Run-time store errors, by
+   contrast, flow through the typed degradation path. *)
 let the_stretch st =
   match st.stretch with
   | Some s -> s

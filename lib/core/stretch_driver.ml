@@ -36,6 +36,10 @@ let map_page env va ~pfn =
       ~pfn
   with
   | Ok cost -> env.consume_cpu cost
+  (* Drivers only map/unmap addresses inside their own bound stretch
+     with frames they own; a translation refusal is a driver bug, so
+     it fails loudly rather than returning a result no caller could
+     act on. *)
   | Error e ->
     failwith
       (Format.asprintf "%s: map %a failed: %a" env.domain_name Addr.pp_vaddr

@@ -401,6 +401,11 @@ let publish_standard_drivers t =
     (fun (path, factory) ->
       match Namespace.bind t.names ~path (Driver_factory factory) with
       | Ok () -> ()
+      (* Boot-time registration of literal paths into a fresh
+         namespace: a bind failure means two publishers claimed the
+         same path, a programmer error. Loud failure at startup is the
+         convention (same as Registry.register_exn); run-time
+         resolution ([bind_by_name]) stays typed. *)
       | Error e -> failwith ("publish_standard_drivers: " ^ e))
     [ ("drivers/nailed", fun d s -> bind_nailed d s);
       ("drivers/physical", fun d s -> bind_physical d s) ]

@@ -30,6 +30,8 @@ let find_self t =
   let me = Proc.self () in
   match List.find_opt (fun (p, _) -> p == me) t.live with
   | Some (_, th) -> th
+  (* API misuse: calling scheduler operations from a process this
+     ULTS instance does not own. *)
   | None -> failwith "Ults.self: not inside a ULTS thread"
 
 let self t = find_self t

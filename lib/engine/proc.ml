@@ -19,6 +19,8 @@ let current : t option ref = ref None
 let self () =
   match !current with
   | Some p -> p
+  (* API misuse, not a runtime condition: [self] outside a spawned
+     process has no sensible value to return. *)
   | None -> failwith "Proc.self: not inside a process"
 
 let sim p = p.sim

@@ -49,6 +49,15 @@ type result = {
   audit : Obs.Qos_audit.summary;
 }
 
+val plan_specs : first:int -> nblocks:int -> string list
+(** The victim's injection plan as chaos-site specs (resolved through
+    {!Inject.site_axis}), scoped to its swap extent — exposed so the
+    registry tests can pin the spec route against the hand-built plan
+    record. *)
+
+val plan_for : seed:int -> first:int -> nblocks:int -> Inject.plan
+(** {!plan_specs} resolved and applied to [{default_plan with seed}]. *)
+
 val violations_for : names:string list -> ids:int list -> int
 (** QoS-audit violations attributable to a domain, by name (CPU/USD
     feeds label streams ["name"] / ["name.swap"]) or by domain id

@@ -24,6 +24,8 @@ type result = { self_paging : config_result; external_pager : config_result }
 let heavy_bytes_vm = 4 * 1024 * 1024
 let light_bytes_vm = 1024 * 1024
 
+(* Setup failwiths throughout: a world that fails to construct leaves
+   nothing to measure, so it aborts rather than skewing the figure. *)
 let make_app sys ~name ~bytes =
   match
     System.add_domain sys ~name ~cpu_period:(Time.ms 10)

@@ -40,9 +40,9 @@ type result = {
 }
 
 let patterns =
-  [ ("seq", Workload.Paging_app.Sequential);
-    ("rand", Workload.Paging_app.Random);
-    ("hot", Workload.Paging_app.Hotspot) ]
+  List.map
+    (fun n -> (n, Harness.pattern ~experiment:"erasure" n))
+    [ "seq"; "rand"; "hot" ]
 
 let fault_hist name =
   match Obs.Metrics.hist_view ~label:name "fault.latency_us" with
@@ -142,13 +142,11 @@ let run_cell ~seed ~duration ~name ~mode ~redundancy =
                 ~context:[ ("cell", name); ("app", nm) ]
                 ("erasure: " ^ Usnet.Link.admit_error_message e)
         in
-        let backing swap =
-          let store =
-            Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
-              ~swap ()
-          in
-          stores := store :: !stores;
-          Tier.Fleet.backing store
+        let backing =
+          Harness.backing ~experiment:"erasure" "fleet:cache-pages=24"
+            [ Tier.Fleet.Fleet_tier
+                { fc_fleet = fleet; fc_clients = clients;
+                  fc_on_store = (fun s -> stores := s :: !stores) } ]
         in
         (nm, pat, true, start_app sys ~name:nm ~pattern ~backing ()))
       patterns
@@ -534,13 +532,10 @@ let bench_cell ~seed ~duration ~name ~redundancy ?(repair = true) ~wipe () =
                 ("erasure: " ^ Usnet.Link.admit_error_message e)
         in
         Some
-          (fun swap ->
-            let s =
-              Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
-                ~swap ()
-            in
-            store := Some s;
-            Tier.Fleet.backing s)
+          (Harness.backing ~experiment:"erasure" "fleet:cache-pages=24"
+             [ Tier.Fleet.Fleet_tier
+                 { fc_fleet = fleet; fc_clients = clients;
+                   fc_on_store = (fun s -> store := Some s) } ])
   in
   let app =
     start_app sys ~name:"bench" ~pattern:Workload.Paging_app.Hotspot ?backing

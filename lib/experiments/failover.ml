@@ -30,9 +30,9 @@ type result = {
 }
 
 let patterns =
-  [ ("seq", Workload.Paging_app.Sequential);
-    ("rand", Workload.Paging_app.Random);
-    ("hot", Workload.Paging_app.Hotspot) ]
+  List.map
+    (fun n -> (n, Harness.pattern ~experiment:"failover" n))
+    [ "seq"; "rand"; "hot" ]
 
 let fault_hist name =
   match Obs.Metrics.hist_view ~label:name "fault.latency_us" with
@@ -48,6 +48,9 @@ let start_app sys ~name ~pattern ?backing () =
       ~swap_bytes:(4 * 1024 * 1024) ?backing ~pattern ()
   with
   | Ok a -> a
+  (* Setup failwiths throughout: the experiment's fixed fleet admits
+     by construction; backing/pattern resolution is typed via the
+     registry (Harness.backing / Harness.pattern). *)
   | Error e -> failwith (Printf.sprintf "failover: %s: %s" name e)
 
 let node_count = 4
@@ -120,13 +123,11 @@ let run_once ~seed ~duration =
           | Error e ->
               failwith ("failover: " ^ Usnet.Link.admit_error_message e)
         in
-        let backing swap =
-          let store =
-            Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
-              ~swap ()
-          in
-          stores := store :: !stores;
-          Tier.Fleet.backing store
+        let backing =
+          Harness.backing ~experiment:"failover" "fleet:cache-pages=24"
+            [ Tier.Fleet.Fleet_tier
+                { fc_fleet = fleet; fc_clients = clients;
+                  fc_on_store = (fun s -> stores := s :: !stores) } ]
         in
         (name, pat, true, start_app sys ~name ~pattern ~backing ()))
       patterns
@@ -435,13 +436,10 @@ let bench_cell ~seed ~duration ~name ~fleeted ~wipe =
               failwith ("failover: " ^ Usnet.Link.admit_error_message e)
         in
         Some
-          (fun swap ->
-            let s =
-              Tier.Fleet.attach fleet ~cache_pages:24 ~label:"fleet" ~clients
-                ~swap ()
-            in
-            store := Some s;
-            Tier.Fleet.backing s)
+          (Harness.backing ~experiment:"failover" "fleet:cache-pages=24"
+             [ Tier.Fleet.Fleet_tier
+                 { fc_fleet = fleet; fc_clients = clients;
+                   fc_on_store = (fun s -> store := Some s) } ])
   in
   let app =
     start_app sys ~name:"bench" ~pattern:Workload.Paging_app.Hotspot ?backing

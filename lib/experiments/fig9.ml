@@ -22,6 +22,8 @@ let run_one ~duration ~fs_depth ~with_pagers =
   let fs =
     match Fs_client.start sys ~name:"fs" ~qos:(fs_qos ()) ~depth:fs_depth () with
     | Ok f -> f
+    (* Setup failwiths: the figure's fixed fleet admits by
+       construction; a refusal is an experiment bug. *)
     | Error e -> failwith ("fs client: " ^ e)
   in
   let pagers =

@@ -12,6 +12,9 @@ let run_in_sim sys f =
   done;
   match !result with
   | Some r -> r
+  (* Harness failwiths: fuel exhaustion or a refused bench-domain
+     admission mean the experiment never produced a result to
+     qualify — abort loudly rather than fabricate one. *)
   | None -> failwith "run_in_sim: experiment did not complete"
 
 let fresh_system ?(page_table = `Linear) ?(usd_rollover = true)
@@ -42,6 +45,20 @@ let fail_verdict ~experiment ?(context = []) msg =
     context;
   flush stderr;
   failwith msg
+
+let pattern ~experiment name =
+  match Workload.Paging_app.pattern_of_string name with
+  | Ok p -> p
+  | Error e -> fail_verdict ~experiment (Registry.error_message e)
+
+let backing ~experiment spec ctx =
+  match Tier.Backing.resolve spec with
+  | Error e -> fail_verdict ~experiment (Registry.error_message e)
+  | Ok factory -> (
+      fun swap ->
+        match factory ctx swap with
+        | Ok b -> b
+        | Error msg -> fail_verdict ~experiment msg)
 
 let mean_span spans =
   match spans with

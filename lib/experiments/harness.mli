@@ -21,6 +21,20 @@ val bench_domain :
 val mean_span : Time.span list -> float
 (** Mean in microseconds. *)
 
+val pattern : experiment:string -> string -> Workload.Paging_app.pattern
+(** Resolve a workload-pattern name through the registry
+    ({!Workload.Paging_app.pattern_axis}), aborting the experiment
+    with a did-you-mean hint on an unknown name — the one resolution
+    route every experiment's pattern table shares. *)
+
+val backing :
+  experiment:string -> string -> Tier.Backing.ctx ->
+  Usbs.Sfs.swapfile -> Tier.Backing.t
+(** Resolve a backing spec (["tiered:cache-pages=24"], ["zram"], ...)
+    through {!Tier.Backing.axis} into the [swapfile -> Backing.t]
+    shape [Paging_app.start ?backing] takes, aborting the experiment
+    on an unknown name or a missing capability. *)
+
 val fail_verdict :
   experiment:string -> ?context:(string * string) list -> string -> 'a
 (** Abort an experiment: print the experiment name, the message and

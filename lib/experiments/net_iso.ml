@@ -20,6 +20,9 @@ let run_shares ?(duration = Time.sec 30) () =
               ~slice:(Time.ms slice_ms) ()
           with
           | Ok c -> c
+          (* Setup failwiths throughout: admissions here are sized to
+             fit by construction, so a refusal is a bug in the
+             experiment, not a measurable outcome. *)
           | Error e -> failwith (Usnet.Link.admit_error_message e)
         in
         (* Flat out: keep the transmit ring full. *)

@@ -62,6 +62,8 @@ let run ?(mode = Paging_app.Paging_in) ?(duration = Time.sec 240)
         in
         match Paging_app.start sys ~name ~mode ~qos () with
         | Ok a -> (name, slice_ms, a)
+        (* Setup failwith: the figure's fixed app fleet is sized to
+           admit by construction. *)
         | Error e -> failwith (name ^ ": " ^ e))
       shares_ms
   in

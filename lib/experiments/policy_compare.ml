@@ -26,9 +26,9 @@ type row = {
 type result = { duration : Time.t; rows : row list }
 
 let patterns =
-  [ ("seq", Paging_app.Sequential);
-    ("rand", Paging_app.Random);
-    ("hot", Paging_app.Hotspot) ]
+  List.map
+    (fun n -> (n, Harness.pattern ~experiment:"policy-compare" n))
+    [ "seq"; "rand"; "hot" ]
 
 (* The probe app: 256 pages of VM over 48 guaranteed frames, so the
    residency ratio is ~19% — small enough that sequential and random
@@ -62,6 +62,8 @@ let run_cell ~duration ~seed spec (pat_name, pattern) =
         ~policy:spec ~pattern ()
     with
     | Ok a -> a
+    (* Setup failwith: the policy spec was already resolved (typed)
+       by the caller; a start failure here is a sizing bug. *)
     | Error e -> failwith ("policy-compare probe: " ^ e)
   in
   let rival =

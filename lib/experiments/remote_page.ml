@@ -30,9 +30,9 @@ type result = {
 }
 
 let patterns =
-  [ ("seq", Workload.Paging_app.Sequential);
-    ("rand", Workload.Paging_app.Random);
-    ("hot", Workload.Paging_app.Hotspot) ]
+  List.map
+    (fun n -> (n, Harness.pattern ~experiment:"remote" n))
+    [ "seq"; "rand"; "hot" ]
 
 let zero_stats =
   { Tier.Store.cache_hits = 0; remote_hits = 0; remote_misses = 0;
@@ -75,6 +75,9 @@ let start_app sys ~name ~pattern ?backing () =
       ~swap_bytes:(4 * 1024 * 1024) ?backing ~pattern ()
   with
   | Ok a -> a
+  (* Setup failwiths throughout: the experiment's fixed fleet admits
+     by construction; backing/pattern resolution is typed via the
+     registry (Harness.backing / Harness.pattern). *)
   | Error e -> failwith (Printf.sprintf "remote: %s: %s" name e)
 
 (* The link chaos plan: second-half packet loss and delay on the
@@ -123,13 +126,11 @@ let run_once ~seed ~duration =
           | Error e ->
             failwith ("remote: " ^ Usnet.Link.admit_error_message e)
         in
-        let backing swap =
-          let store =
-            Tier.Store.create ~cache_pages:24 ~link ~client ~remote ~swap
-              ~label:"tier" ()
-          in
-          stores := store :: !stores;
-          Tier.Store.backing store
+        let backing =
+          Harness.backing ~experiment:"remote" "tiered:cache-pages=24"
+            [ Tier.Store.Tiered
+                { tc_link = link; tc_client = client; tc_remote = remote;
+                  tc_on_store = (fun s -> stores := s :: !stores) } ]
         in
         (name, pat, true, start_app sys ~name ~pattern ~backing ()))
       patterns
@@ -356,13 +357,10 @@ let bench_cell ~seed ~duration ~pat ~pattern ~tiered =
       in
       let remote = Tier.Remote_node.create ~capacity_pages:128 () in
       Some
-        (fun swap ->
-          let s =
-            Tier.Store.create ~cache_pages:24 ~link ~client ~remote ~swap
-              ~label:"tier" ()
-          in
-          store := Some s;
-          Tier.Store.backing s)
+        (Harness.backing ~experiment:"remote" "tiered:cache-pages=24"
+           [ Tier.Store.Tiered
+               { tc_link = link; tc_client = client; tc_remote = remote;
+                 tc_on_store = (fun s -> store := Some s) } ])
     end
   in
   let name = "bench" in

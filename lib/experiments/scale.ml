@@ -41,10 +41,8 @@ let vm_pages = 16
 let swap_pages = 32
 
 let pattern_of i =
-  match i mod 3 with
-  | 0 -> (Workload.Paging_app.Sequential, "seq")
-  | 1 -> (Workload.Paging_app.Random, "rand")
-  | _ -> (Workload.Paging_app.Hotspot, "hot")
+  let n = [| "seq"; "rand"; "hot" |].(i mod 3) in
+  (Harness.pattern ~experiment:"scale" n, n)
 
 let run ?(seed = 42) ?(domains = 128) ?(duration = Time.sec 60) () =
   if domains < 1 then invalid_arg "Scale.run: domains must be positive";
@@ -82,6 +80,9 @@ let run ?(seed = 42) ?(domains = 128) ?(duration = Time.sec 60) () =
             ~cpu_slice ~pattern ()
         with
         | Ok a -> (a, pname)
+        (* Setup failwith: the first [domains] admissions are sized to
+           fit; only the deliberate 129th below may be refused, and
+           that refusal is typed and asserted on. *)
         | Error e -> failwith (Printf.sprintf "scale: %s: %s" name e))
   in
   (* The 129th domain: admission control must refuse it with the typed

@@ -35,6 +35,10 @@ let pool_driver env pool =
 
 (* --- dirty: examine a random PTE's dirty bit, user level. --- *)
 
+(* Setup failwiths (here and in the other benches): a bench that
+   cannot build its world has no number to report, so construction
+   errors abort the run. Name resolution, by contrast, goes through
+   the registry with typed errors. *)
 let bench_dirty ~page_table () =
   let sys = Harness.fresh_system ~page_table () in
   let d = Harness.bench_domain sys ~name:"dirty" () in

@@ -180,6 +180,9 @@ let run ?(seed = 42) ?(tenants = 32) ?(duration = Time.sec 40)
   let reg =
     match Share.Registry.create sys ~guarantee:reg_guarantee with
     | Ok r -> r
+    (* Setup failwiths throughout: the tenant fleet admits by
+       construction; a refusal or stacking error while building the
+       world is an experiment bug, not a measurable outcome. *)
     | Error e -> failwith ("tenancy: registry: " ^ System.error_message e)
   in
   let seg = Share.Seg.create ~reg ~name:"text" ~npages:seg_pages () in
@@ -207,8 +210,8 @@ let run ?(seed = 42) ?(tenants = 32) ?(duration = Time.sec 40)
         with
         | Ok a -> a
         | Error e -> failwith (Printf.sprintf "tenancy: %s: %s" name e))
-      [ ("bystander0", Workload.Paging_app.Sequential);
-        ("bystander1", Workload.Paging_app.Hotspot) ]
+      [ ("bystander0", Harness.pattern ~experiment:"tenancy" "seq");
+        ("bystander1", Harness.pattern ~experiment:"tenancy" "hot") ]
   in
   (* The template: a domain big enough to keep the whole image
      resident for the freeze. *)
@@ -267,10 +270,9 @@ let run ?(seed = 42) ?(tenants = 32) ?(duration = Time.sec 40)
     | None -> None
     | Some zp ->
       Some
-        (fun label below_swap ->
-          Share.Sd_zram.backing
-            (Share.Sd_zram.create ~label ~zpool:zp
-               ~below:(Tier.Backing.of_sfs below_swap) ()))
+        (fun label ->
+          Harness.backing ~experiment:"tenancy" "zram"
+            [ Share.Sd_zram.Zram { zc_zpool = zp; zc_label = label } ])
   in
   (* Tenant behaviour: read the segment and the shared low pages, then
      write the top [wspan] pages once (the CoW breaks) and settle into

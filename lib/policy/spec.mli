@@ -13,10 +13,38 @@
       +wbN       write-behind, batch N frames    (e.g. lru+wb16)
     v}
 
+    Since the extension-registry redesign the textual form resolves
+    through {!Registry}: base names through {!replacement_axis},
+    modifiers through {!modifier_axis}. The built-ins above are
+    ordinary registrations, and a new policy registers itself the same
+    way — no edit to this module:
+
+    {[
+      Registry.register_exn Policy.Spec.replacement_axis
+        (Registry.manifest ~name:"random" ~doc:"uniform random victim" ())
+        (fun _atom ->
+          Ok (Policy.Spec.Ext { mk_name = "random"; mk_make = my_make }))
+    ]}
+
     [default] — FIFO, no read-ahead, write-through — reproduces the
     seed driver's behaviour exactly. *)
 
-type replacement = Fifo | Clock | Lru | Wsclock of { window : int }
+type maker = {
+  mk_name : string;
+      (** canonical, re-parsable name reported by {!name} — bake any
+          parameters in (e.g. ["zipf:90"]) *)
+  mk_make : now:(unit -> int) -> Replacement.t;
+      (** build a {e fresh} policy instance — one per driver, no
+          shared state between instantiations (registry isolation
+          rule, asserted by the registry tests) *)
+}
+
+type replacement =
+  | Fifo
+  | Clock
+  | Lru
+  | Wsclock of { window : int }
+  | Ext of maker  (** a registered extension ({!replacement_axis}) *)
 
 type t = {
   replacement : replacement;
@@ -24,12 +52,28 @@ type t = {
   wb_batch : int;  (** <= 1 = write-through *)
 }
 
+type modifier = t -> (t, string) result
+(** What a ['+']-modifier does to the spec being built. *)
+
 val default : t
+
+val replacement_axis : replacement Registry.axis
+(** Hook point for base policy names ([fifo], [clock], ...). *)
+
+val modifier_axis : modifier Registry.axis
+(** Hook point for ['+']-separated modifiers ([ra], [ad], [wb]). *)
 
 val name : t -> string
 (** Canonical textual form (parsable by {!of_string}). *)
 
+val resolve : string -> (t, Registry.error) result
+(** Parse and resolve through the registry, with typed errors — the
+    CLI path ({!Registry.error_message} adds a did-you-mean hint). *)
+
 val of_string : string -> (t, string) result
+(** Thin wrapper over {!resolve} that renders errors as strings;
+    accepts every pre-registry spec string byte-for-byte (golden
+    test in [test/test_registry.ml]). *)
 
 val presets : (string * t) list
 (** The line-up [policy-compare] runs by default: fifo, fifo+ra8,

@@ -54,3 +54,14 @@ type stats = {
 
 val stats : t -> stats
 val zpool : t -> Zpool.t
+
+type zram_cap = {
+  zc_zpool : Zpool.t;  (** the pool shared by the tenant fleet *)
+  zc_label : string;  (** per-tenant label (entries are keyed [label:slot]) *)
+}
+
+type Tier.Backing.cap += Zram of zram_cap
+(** The live capability the registered ["zram"] backing consumes:
+    [Tier.Backing.resolve "zram"] yields a factory that, given a ctx
+    holding one of these and a swapfile, stacks {!create} over the
+    swapfile's own data path and returns its {!backing}. *)

@@ -1266,3 +1266,49 @@ let books_balanced t =
   | Some _ ->
       t.s_lost_shards
       = t.s_reconstructions + t.s_rebuilds + t.s_disk_fallbacks
+
+(* --- backing-axis registration --------------------------------------- *)
+
+type fleet_cap = {
+  fc_fleet : t;
+  fc_clients : Usnet.Link.client array;
+  fc_on_store : store -> unit;
+}
+
+type Backing.cap += Fleet_tier of fleet_cap
+
+let () =
+  Registry.register_exn Backing.axis
+    (Registry.manifest ~name:"fleet"
+       ~doc:
+         "replicated / erasure-coded remote-memory fleet over the disk \
+          (Tier.Fleet)"
+       ~params:
+         [ { Registry.p_name = "cache-pages";
+             p_doc = "local RAM cache size, pages";
+             p_kind = Registry.Int 32 };
+           { Registry.p_name = "label";
+             p_doc = "store label for metrics and driver names";
+             p_kind = Registry.String (Some "fleet") } ]
+       ~default:"fleet:cache-pages=32" ())
+    (fun a ->
+      match Registry.Spec.int_param a "cache-pages" ~default:32 with
+      | Error e -> Error e
+      | Ok cache_pages ->
+          let label = Registry.Spec.string_param a "label" ~default:"fleet" in
+          Ok
+            (fun ctx swap ->
+              match
+                List.find_map
+                  (function Fleet_tier c -> Some c | _ -> None)
+                  ctx
+              with
+              | None ->
+                  Error "fleet backing needs a Tier.Fleet.Fleet_tier capability"
+              | Some c ->
+                  let s =
+                    attach ~cache_pages ~label c.fc_fleet
+                      ~clients:c.fc_clients ~swap ()
+                  in
+                  c.fc_on_store s;
+                  Ok (backing s)))

@@ -229,6 +229,19 @@ val backing : store -> Backing.t
 (** The store as a {!Backing.t} — what [Sd_paged.create ?backing] and
     [Workload.Paging_app.start ?backing] take. *)
 
+type fleet_cap = {
+  fc_fleet : t;
+  fc_clients : Usnet.Link.client array;  (** from {!admit_clients} *)
+  fc_on_store : store -> unit;
+      (** receives the attached store (for [stats] at teardown) *)
+}
+
+type Backing.cap += Fleet_tier of fleet_cap
+(** The live capability the registered ["fleet"] backing consumes:
+    [Backing.resolve "fleet:cache-pages=24"] yields a factory that,
+    given a ctx holding one of these and a swapfile, {!attach}es the
+    domain to the fleet and returns the store's {!backing}. *)
+
 val placement : t -> owner:string -> slot:int -> int array
 (** The node indices the rendezvous hash assigns this page's stripe,
     primary / shard 0 first — deterministic in [(seed, member names,

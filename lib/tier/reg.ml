@@ -1,0 +1,6 @@
+(* Re-export of the extension registry under a name that cannot be
+   shadowed: [Share] has a frame-sharing [Registry] module of its own
+   that masks the library of the same name inside lib/share, so
+   Sd_zram's backing registration reaches the extension registry as
+   [Tier.Reg]. *)
+include Registry

@@ -486,3 +486,48 @@ let backing t =
     extent =
       (fun () ->
         (Usbs.Sfs.extent_start t.swap, Usbs.Sfs.extent_blocks t.swap)) }
+
+(* --- backing-axis registration --------------------------------------- *)
+
+type tiered_cap = {
+  tc_link : Usnet.Link.t;
+  tc_client : Usnet.Link.client;
+  tc_remote : Remote_node.t;
+  tc_on_store : t -> unit;
+}
+
+type Backing.cap += Tiered of tiered_cap
+
+let () =
+  Registry.register_exn Backing.axis
+    (Registry.manifest ~name:"tiered"
+       ~doc:
+         "local RAM cache over one remote memory node over the disk \
+          (Tier.Store)"
+       ~params:
+         [ { Registry.p_name = "cache-pages";
+             p_doc = "local RAM cache size, pages";
+             p_kind = Registry.Int 32 };
+           { Registry.p_name = "label";
+             p_doc = "store label for metrics and driver names";
+             p_kind = Registry.String (Some "tier") } ]
+       ~default:"tiered:cache-pages=32" ())
+    (fun a ->
+      match Registry.Spec.int_param a "cache-pages" ~default:32 with
+      | Error e -> Error e
+      | Ok cache_pages ->
+          let label = Registry.Spec.string_param a "label" ~default:"tier" in
+          Ok
+            (fun ctx swap ->
+              match
+                List.find_map (function Tiered c -> Some c | _ -> None) ctx
+              with
+              | None ->
+                  Error "tiered backing needs a Tier.Store.Tiered capability"
+              | Some c ->
+                  let s =
+                    create ~cache_pages ~label ~link:c.tc_link
+                      ~client:c.tc_client ~remote:c.tc_remote ~swap ()
+                  in
+                  c.tc_on_store s;
+                  Ok (backing s)))

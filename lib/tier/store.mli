@@ -92,6 +92,20 @@ val backing : t -> Backing.t
 (** The store as a {!Backing.t} — what [Sd_paged.create ?backing]
     takes. Its [label] is the store's label. *)
 
+type tiered_cap = {
+  tc_link : Usnet.Link.t;
+  tc_client : Usnet.Link.client;
+  tc_remote : Remote_node.t;
+  tc_on_store : t -> unit;
+      (** receives the created store (for [stats] at teardown) *)
+}
+
+type Backing.cap += Tiered of tiered_cap
+(** The live capability the registered ["tiered"] backing consumes:
+    [Backing.resolve "tiered:cache-pages=24"] yields a factory that,
+    given a ctx holding one of these and a swapfile, builds a
+    {!create}d store and returns its {!backing}. *)
+
 val stats : t -> stats
 (** Always-on plain counters (independent of {!Obs.enabled}); the
     same quantities are mirrored as [tier.*] Obs metrics labelled by

@@ -308,6 +308,9 @@ let transact t c op ~lba ~nblocks =
     | Error (Media m) -> Error (`Media m)
     | Error Cancelled -> Error `Cancelled)
 
+(* The [_exn] variant is for callers that have already ruled out
+   media errors and retirement (pristine disks, bound clients);
+   hardened callers use [transact] and match on the typed errors. *)
 let transact_exn t c op ~lba ~nblocks =
   match transact t c op ~lba ~nblocks with
   | Ok () -> ()

@@ -3,13 +3,48 @@ open Hw
 open Core
 
 type mode = Paging_in | Paging_out
-type pattern = Sequential | Random | Hotspot
+
+type gen = {
+  g_name : string;
+  g_make : unit -> rng:Rng.t -> npages:int -> int;
+}
+
+type pattern = Sequential | Random | Hotspot | Ext of gen
+
+(* Hook point: workload pattern names ("seq"/"rand"/"hot" and any
+   registered extension) resolve here instead of a closed match. *)
+let pattern_axis : pattern Registry.axis =
+  Registry.axis ~name:"workload"
+    ~doc:"access patterns a paging app can follow (Paging_app.pattern)"
+
+let () =
+  let reg name doc p =
+    Registry.register_exn pattern_axis
+      (Registry.manifest ~name ~doc ())
+      (fun a ->
+        if a.Registry.Spec.args = [] && a.Registry.Spec.params = [] then Ok p
+        else Error (Printf.sprintf "%s takes no parameter" name))
+  in
+  reg "seq" "wrap-around linear scan (the paper's workload)" Sequential;
+  reg "rand" "uniform page per access" Random;
+  reg "hot" "90% of accesses in the first eighth of the stretch" Hotspot
+
+let pattern_of_string s = Registry.resolve pattern_axis s
+
+let pattern_name = function
+  | Sequential -> "seq"
+  | Random -> "rand"
+  | Hotspot -> "hot"
+  | Ext g -> g.g_name
 
 type t = {
   d : System.domain;
   stretch : Stretch.t;
   handle : Sd_paged.handle;
   pattern : pattern;
+  (* Instantiated once per app (registry isolation rule: pattern
+     extensions never share state between apps). *)
+  pattern_gen : (rng:Rng.t -> npages:int -> int) option;
   rng : Rng.t;
   bytes : int ref;
   accesses : int ref;
@@ -102,6 +137,14 @@ let sweep_pattern t ~access ~compute_per_page =
       in
       touch t p ~access ~compute_per_page
     done
+  | Ext g ->
+    let next =
+      match t.pattern_gen with Some f -> f | None -> g.g_make ()
+    in
+    for _ = 1 to npages do
+      let p = next ~rng:t.rng ~npages in
+      touch t (((p mod npages) + npages) mod npages) ~access ~compute_per_page
+    done
 
 let begin_measured t =
   t.loop_start := Some (Sim.now (Proc.sim (Proc.self ())));
@@ -168,6 +211,10 @@ let start sys ~name ~mode ~qos ?(vm_bytes = 4 * 1024 * 1024)
                in
                let t =
                  { d; stretch; handle; pattern;
+                   pattern_gen =
+                     (match pattern with
+                     | Ext g -> Some (g.g_make ())
+                     | Sequential | Random | Hotspot -> None);
                    rng = Rng.create ~seed:(Hashtbl.hash name land 0xffffff);
                    bytes; accesses = ref 0; watcher;
                    loop_start = ref None; start_info = ref None;

@@ -6,4 +6,5 @@ let () =
    @ Test_extensions.suite @ Test_properties.suite @ Test_stress.suite
    @ Test_policy.suite @ Test_experiments.suite @ Test_inject.suite
    @ Test_crash.suite @ Test_scale.suite @ Test_tier.suite
-   @ Test_share.suite @ Test_fleet.suite @ Test_erasure.suite)
+   @ Test_share.suite @ Test_fleet.suite @ Test_erasure.suite
+   @ Test_registry.suite)
